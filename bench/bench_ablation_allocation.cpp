@@ -1,0 +1,72 @@
+// Ablation: what makes the ATM net tractable despite 11 choices?  The raw
+// allocation space has prod(cluster sizes) = 4608 points, but choices inside
+// removed branches are moot, so only 120 distinct T-reductions remain.  This
+// bench quantifies the deduplication and its cost.
+#include "bench_util.hpp"
+
+#include <set>
+
+#include "apps/atm/atm_net.hpp"
+#include "qss/reduction.hpp"
+#include "qss/scheduler.hpp"
+
+namespace {
+
+using namespace fcqss;
+
+void report()
+{
+    benchutil::heading("Ablation: allocation enumeration vs reduction dedup (ATM net)");
+    const auto net = atm::build_atm_net();
+    const auto clusters = qss::choice_clusters(net);
+    benchutil::row("choice clusters", std::to_string(clusters.size()));
+    benchutil::row("allocation space", std::to_string(qss::allocation_count(clusters)));
+
+    // Count distinct reductions by their kept-transition bitmaps.
+    std::set<std::vector<bool>> distinct;
+    for (const qss::t_allocation& a : qss::enumerate_allocations(clusters)) {
+        distinct.insert(qss::reduce(net, clusters, a).keep_transition);
+    }
+    benchutil::row("distinct T-reductions (paper: 120)", std::to_string(distinct.size()));
+    benchutil::row("dedup factor",
+                   std::to_string(static_cast<double>(qss::allocation_count(clusters)) /
+                                  static_cast<double>(distinct.size())));
+}
+
+void bm_enumerate_allocations(benchmark::State& state)
+{
+    const auto net = atm::build_atm_net();
+    const auto clusters = qss::choice_clusters(net);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(qss::enumerate_allocations(clusters));
+    }
+}
+BENCHMARK(bm_enumerate_allocations);
+
+void bm_reduce_all_allocations(benchmark::State& state)
+{
+    const auto net = atm::build_atm_net();
+    const auto clusters = qss::choice_clusters(net);
+    const auto allocations = qss::enumerate_allocations(clusters);
+    for (auto _ : state) {
+        std::size_t kept = 0;
+        for (const qss::t_allocation& a : allocations) {
+            kept += qss::reduce(net, clusters, a).kept_transition_count();
+        }
+        benchmark::DoNotOptimize(kept);
+    }
+}
+BENCHMARK(bm_reduce_all_allocations);
+
+void bm_full_scheduler_with_dedup(benchmark::State& state)
+{
+    const auto net = atm::build_atm_net();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(qss::quasi_static_schedule(net));
+    }
+}
+BENCHMARK(bm_full_scheduler_with_dedup);
+
+} // namespace
+
+FCQSS_BENCH_MAIN(report)

@@ -1,0 +1,117 @@
+// Applicability comparison against the Sec. 1 related work: Lin's safe-net
+// synthesis (DAC'98).  The paper's claims, demonstrated concretely:
+//   (1) safeness excludes multirate specifications (Fig. 2 / Fig. 4 cores),
+//   (2) safeness excludes source/sink transitions (every reactive spec),
+//   (3) where both apply, the safe-net state machine grows with the state
+//       count while QSS code stays linear in the net.
+#include "bench_util.hpp"
+
+#include "baselines/lin_synthesis.hpp"
+#include "codegen/c_emitter.hpp"
+#include "codegen/task_codegen.hpp"
+#include "nets/paper_nets.hpp"
+#include "pn/builder.hpp"
+#include "qss/scheduler.hpp"
+#include "qss/task_partition.hpp"
+
+namespace {
+
+using namespace fcqss;
+
+// k independent 1-token choice rings joined in one net: safe, autonomous,
+// with 3^k reachable markings... actually 3k places but product state space.
+pn::petri_net safe_rings(int k)
+{
+    pn::net_builder b("rings" + std::to_string(k));
+    for (int i = 0; i < k; ++i) {
+        const std::string suffix = std::to_string(i);
+        const auto p1 = b.add_place("p1_" + suffix, 1);
+        const auto p2 = b.add_place("p2_" + suffix);
+        const auto split = b.add_transition("split_" + suffix);
+        const auto back = b.add_transition("back_" + suffix);
+        b.add_arc(p1, split);
+        b.add_arc(split, p2);
+        b.add_arc(p2, back);
+        b.add_arc(back, p1);
+    }
+    return std::move(b).build();
+}
+
+void report()
+{
+    benchutil::heading("Applicability: Lin safe-net baseline vs QSS");
+    const struct {
+        const char* label;
+        pn::petri_net net;
+    } cases[] = {
+        {"fig2 (multirate)", nets::figure_2()},
+        {"fig3a (reactive choice)", nets::figure_3a()},
+        {"fig4 (multirate choice)", nets::figure_4()},
+        {"fig5", nets::figure_5()},
+    };
+    std::printf("  %-26s %-44s %s\n", "net", "Lin baseline", "QSS");
+    for (const auto& c : cases) {
+        const baselines::lin_program lin = baselines::lin_synthesize(c.net);
+        const bool qss_ok = qss::quasi_static_schedule(c.net).schedulable;
+        std::printf("  %-26s %-44s %s\n", c.label,
+                    lin.ok() ? "ok" : to_string(lin.failure).c_str(),
+                    qss_ok ? "schedulable" : "rejected");
+    }
+
+    benchutil::heading("Code growth: state machine vs quasi-static code");
+    std::printf("  %8s %14s %14s\n", "rings", "Lin states", "Lin code size");
+    for (int k = 1; k <= 6; ++k) {
+        const pn::petri_net net = safe_rings(k);
+        const baselines::lin_program lin = baselines::lin_synthesize(net);
+        if (!lin.ok()) {
+            std::printf("  %8d %14s %14s\n", k, "-", to_string(lin.failure).c_str());
+            continue;
+        }
+        std::printf("  %8d %14zu %14zu   (2^%d product states)\n", k, lin.states.size(),
+                    lin.code_size(), k);
+    }
+    std::printf("  QSS code for the same nets is linear: %d / %d / %d lines for "
+                "k = 2 / 4 / 6.\n",
+                [](int k) {
+                    const auto net = safe_rings(k);
+                    const auto r = qss::quasi_static_schedule(net);
+                    const auto p = qss::partition_tasks(net, r);
+                    return cgen::emitted_line_count(cgen::generate_program(net, r, p));
+                }(2),
+                [](int k) {
+                    const auto net = safe_rings(k);
+                    const auto r = qss::quasi_static_schedule(net);
+                    const auto p = qss::partition_tasks(net, r);
+                    return cgen::emitted_line_count(cgen::generate_program(net, r, p));
+                }(4),
+                [](int k) {
+                    const auto net = safe_rings(k);
+                    const auto r = qss::quasi_static_schedule(net);
+                    const auto p = qss::partition_tasks(net, r);
+                    return cgen::emitted_line_count(cgen::generate_program(net, r, p));
+                }(6));
+}
+
+void bm_lin_synthesis(benchmark::State& state)
+{
+    const auto net = safe_rings(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(baselines::lin_synthesize(net));
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(bm_lin_synthesis)->DenseRange(1, 6)->Complexity();
+
+void bm_qss_on_same_nets(benchmark::State& state)
+{
+    const auto net = safe_rings(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(qss::quasi_static_schedule(net));
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(bm_qss_on_same_nets)->DenseRange(1, 6)->Complexity();
+
+} // namespace
+
+FCQSS_BENCH_MAIN(report)

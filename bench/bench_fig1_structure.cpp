@@ -1,0 +1,45 @@
+// Figure 1 reproduction: free-choice vs non-free-choice structure.  The
+// paper's Fig. 1a is free choice (enabling one consumer of the place enables
+// all); Fig. 1b is not (t3 also depends on a second place).  The benchmark
+// times the structural check, which is linear in the net.
+#include "bench_util.hpp"
+
+#include "nets/paper_nets.hpp"
+#include "pn/net_class.hpp"
+
+namespace {
+
+using namespace fcqss;
+
+void report()
+{
+    benchutil::heading("Figure 1: free choice vs not free choice");
+    benchutil::row("fig1a is free choice (paper: yes)",
+                   pn::is_free_choice(nets::figure_1a()) ? "yes" : "no");
+    benchutil::row("fig1b is free choice (paper: no)",
+                   pn::is_free_choice(nets::figure_1b()) ? "yes" : "no");
+    benchutil::row("fig1b violation",
+                   pn::describe_free_choice_violation(nets::figure_1b()));
+}
+
+void bm_is_free_choice_1a(benchmark::State& state)
+{
+    const auto net = nets::figure_1a();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(pn::is_free_choice(net));
+    }
+}
+BENCHMARK(bm_is_free_choice_1a);
+
+void bm_is_free_choice_1b(benchmark::State& state)
+{
+    const auto net = nets::figure_1b();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(pn::is_free_choice(net));
+    }
+}
+BENCHMARK(bm_is_free_choice_1b);
+
+} // namespace
+
+FCQSS_BENCH_MAIN(report)

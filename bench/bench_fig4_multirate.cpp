@@ -1,0 +1,72 @@
+// Figure 4 + Sec. 4 reproduction: the weighted-arc FCPN with valid schedule
+// {(t1 t2 t1 t2 t4), (t1 t3 t5 t5)} and the C code synthesized from it — the
+// paper's listing with count(p2)/count(p3) and the if/while tests.
+#include "bench_util.hpp"
+
+#include "codegen/c_emitter.hpp"
+#include "codegen/task_codegen.hpp"
+#include "nets/paper_nets.hpp"
+#include "pn/firing.hpp"
+#include "qss/scheduler.hpp"
+#include "qss/task_partition.hpp"
+#include "qss/valid_schedule.hpp"
+
+namespace {
+
+using namespace fcqss;
+
+void report()
+{
+    benchutil::heading("Figure 4: schedulable net with weighted arcs");
+    const auto net = nets::figure_4();
+    const auto result = qss::quasi_static_schedule(net);
+    benchutil::row("schedulable (paper: yes)", result.schedulable ? "yes" : "no");
+    for (std::size_t i = 0; i < result.entries.size(); ++i) {
+        benchutil::row("cycle " + std::to_string(i) +
+                           (i == 0 ? " (paper: t1 t2 t1 t2 t4)" : " (paper: t1 t3 t5 t5)"),
+                       to_string(net, result.entries[i].analysis.cycle));
+    }
+    benchutil::row("Definition 3.1 validity check",
+                   qss::check_valid_schedule(net, result.cycles()) ? "VIOLATED" : "ok");
+
+    benchutil::heading("Section 4: C code generated for Figure 4");
+    const auto partition = qss::partition_tasks(net, result);
+    const auto program = cgen::generate_program(net, result, partition);
+    std::printf("%s", cgen::emit_c(program).c_str());
+}
+
+void bm_qss_fig4(benchmark::State& state)
+{
+    const auto net = nets::figure_4();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(qss::quasi_static_schedule(net));
+    }
+}
+BENCHMARK(bm_qss_fig4);
+
+void bm_codegen_fig4(benchmark::State& state)
+{
+    const auto net = nets::figure_4();
+    const auto result = qss::quasi_static_schedule(net);
+    const auto partition = qss::partition_tasks(net, result);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cgen::generate_program(net, result, partition));
+    }
+}
+BENCHMARK(bm_codegen_fig4);
+
+void bm_emit_c_fig4(benchmark::State& state)
+{
+    const auto net = nets::figure_4();
+    const auto result = qss::quasi_static_schedule(net);
+    const auto partition = qss::partition_tasks(net, result);
+    const auto program = cgen::generate_program(net, result, partition);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cgen::emit_c(program));
+    }
+}
+BENCHMARK(bm_emit_c_fig4);
+
+} // namespace
+
+FCQSS_BENCH_MAIN(report)

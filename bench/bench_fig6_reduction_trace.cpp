@@ -1,0 +1,53 @@
+// Figure 6 reproduction: the step-by-step trace of the Reduction Algorithm
+// deriving R1 from the Figure 5 net.  The paper's steps: remove t3
+// (unallocated), remove p3, remove t5, remove p5+p6, remove t7.
+#include "bench_util.hpp"
+
+#include "nets/paper_nets.hpp"
+#include "qss/reduction.hpp"
+
+namespace {
+
+using namespace fcqss;
+
+void report()
+{
+    benchutil::heading("Figure 6: Reduction Algorithm trace (R1 from Figure 5)");
+    const auto net = nets::figure_5();
+    const auto clusters = qss::choice_clusters(net);
+    const qss::t_allocation a1{{net.find_transition("t2")}};
+    const auto r1 = qss::reduce(net, clusters, a1, /*record_trace=*/true);
+
+    benchutil::row("paper's steps", "t3 (unallocated), p3, t5, p5+p6, t7");
+    int step = 1;
+    for (const qss::reduction_step& s : r1.trace) {
+        benchutil::row("step " + std::to_string(step++),
+                       "remove " + s.node + " (" + s.reason + ")");
+    }
+}
+
+void bm_traced_reduction(benchmark::State& state)
+{
+    const auto net = nets::figure_5();
+    const auto clusters = qss::choice_clusters(net);
+    const qss::t_allocation a1{{net.find_transition("t2")}};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(qss::reduce(net, clusters, a1, true));
+    }
+}
+BENCHMARK(bm_traced_reduction);
+
+void bm_untraced_reduction(benchmark::State& state)
+{
+    const auto net = nets::figure_5();
+    const auto clusters = qss::choice_clusters(net);
+    const qss::t_allocation a1{{net.find_transition("t2")}};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(qss::reduce(net, clusters, a1, false));
+    }
+}
+BENCHMARK(bm_untraced_reduction);
+
+} // namespace
+
+FCQSS_BENCH_MAIN(report)

@@ -1,0 +1,49 @@
+// Figure 7 reproduction: the non-schedulable FCPN whose two T-reductions are
+// both inconsistent because each keeps a producerless ("source") place — the
+// starved input of the join t6 — which can only support finite execution.
+#include "bench_util.hpp"
+
+#include "nets/paper_nets.hpp"
+#include "pn/structure.hpp"
+#include "qss/reduction.hpp"
+#include "qss/schedulability.hpp"
+#include "qss/scheduler.hpp"
+
+namespace {
+
+using namespace fcqss;
+
+void report()
+{
+    benchutil::heading("Figure 7: non-schedulable FCPN (inconsistent reductions)");
+    const auto net = nets::figure_7();
+    const auto result = qss::quasi_static_schedule(net);
+    benchutil::row("schedulable (paper: no)", result.schedulable ? "yes" : "no");
+    benchutil::row("distinct T-reductions", std::to_string(result.entries.size()));
+    for (const qss::schedule_entry& entry : result.entries) {
+        const auto sub = materialize(net, entry.reduction);
+        std::string source_places;
+        for (pn::place_id p : pn::source_places(sub.net)) {
+            source_places += sub.net.place_name(p) + " ";
+        }
+        benchutil::row("reduction for " + to_string(net, result.clusters,
+                                                    entry.reduction.allocation),
+                       to_string(entry.analysis.failure) +
+                           (source_places.empty() ? "" : " — kept source place(s): " +
+                                                             source_places));
+    }
+    benchutil::row("diagnosis", result.diagnosis);
+}
+
+void bm_diagnose_fig7(benchmark::State& state)
+{
+    const auto net = nets::figure_7();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(qss::quasi_static_schedule(net));
+    }
+}
+BENCHMARK(bm_diagnose_fig7);
+
+} // namespace
+
+FCQSS_BENCH_MAIN(report)

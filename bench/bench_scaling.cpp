@@ -1,0 +1,100 @@
+// Complexity claims of Secs. 3-4: the number of T-reductions is exponential
+// in the number of (reachable, independent) choices, per-reduction static
+// scheduling is polynomial, and the size of the generated C code is linear
+// in the size of the net.  This bench constructs parameterized net families
+// and prints the measured series.
+#include "bench_util.hpp"
+
+#include "codegen/c_emitter.hpp"
+#include "codegen/task_codegen.hpp"
+#include "pn/builder.hpp"
+#include "qss/scheduler.hpp"
+#include "qss/task_partition.hpp"
+
+namespace {
+
+using namespace fcqss;
+
+// One source fanning into `choices` sequential binary choices: every choice
+// place is reachable under every allocation, so the reduction count is
+// exactly 2^choices.
+pn::petri_net parallel_choices(int choices)
+{
+    pn::net_builder b("choices_" + std::to_string(choices));
+    const auto src = b.add_transition("src");
+    for (int i = 0; i < choices; ++i) {
+        const auto p = b.add_place("c" + std::to_string(i));
+        b.add_arc(src, p);
+        const auto yes = b.add_transition("yes" + std::to_string(i));
+        const auto no = b.add_transition("no" + std::to_string(i));
+        b.add_arc(p, yes);
+        b.add_arc(p, no);
+    }
+    return std::move(b).build();
+}
+
+// A plain processing pipeline of `length` stages (no choices): generated
+// code should grow linearly with it.
+pn::petri_net pipeline(int length)
+{
+    pn::net_builder b("pipe_" + std::to_string(length));
+    auto prev = b.add_transition("src");
+    for (int i = 0; i < length; ++i) {
+        const auto p = b.add_place("p" + std::to_string(i));
+        b.add_arc(prev, p);
+        prev = b.add_transition("t" + std::to_string(i));
+        b.add_arc(p, prev);
+    }
+    return std::move(b).build();
+}
+
+void report()
+{
+    benchutil::heading("T-reduction count vs number of choices (exponential)");
+    std::printf("  %8s %12s %12s\n", "choices", "allocations", "reductions");
+    for (int choices = 1; choices <= 10; ++choices) {
+        const auto net = parallel_choices(choices);
+        const auto result = qss::quasi_static_schedule(net);
+        std::printf("  %8d %12zu %12zu\n", choices, result.allocations_enumerated,
+                    result.entries.size());
+    }
+
+    benchutil::heading("Generated code size vs net size (linear, Sec. 4 claim)");
+    std::printf("  %8s %12s %12s %14s\n", "stages", "transitions", "C lines",
+                "lines/stage");
+    for (int length : {4, 8, 16, 32, 64, 128}) {
+        const auto net = pipeline(length);
+        const auto result = qss::quasi_static_schedule(net);
+        const auto partition = qss::partition_tasks(net, result);
+        const auto program = cgen::generate_program(net, result, partition);
+        const int lines = cgen::emitted_line_count(program);
+        std::printf("  %8d %12zu %12d %14.2f\n", length, net.transition_count(), lines,
+                    static_cast<double>(lines) / length);
+    }
+}
+
+void bm_qss_vs_choices(benchmark::State& state)
+{
+    const auto net = parallel_choices(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(qss::quasi_static_schedule(net));
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(bm_qss_vs_choices)->DenseRange(2, 10, 2)->Complexity();
+
+void bm_codegen_vs_pipeline(benchmark::State& state)
+{
+    const auto net = pipeline(static_cast<int>(state.range(0)));
+    const auto result = qss::quasi_static_schedule(net);
+    const auto partition = qss::partition_tasks(net, result);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cgen::generate_program(net, result, partition));
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(bm_codegen_vs_pipeline)->RangeMultiplier(2)->Range(8, 128)->Complexity();
+
+} // namespace
+
+FCQSS_BENCH_MAIN(report)

@@ -1,0 +1,123 @@
+// Table I reproduction: the ATM server for Virtual Private Networks (Sec. 5
+// / Fig. 8).  Compares the QSS implementation (2 tasks) against functional
+// task partitioning (5 module tasks) on the 50-cell testbench, reporting the
+// paper's three rows: number of tasks, lines of C code, clock cycles.
+//
+//   Paper:                    QSS      functional
+//     Number of tasks           2               5
+//     Lines of C code        1664            2187
+//     Clock cycles         197526          249726
+//
+// Absolute numbers depend on the authors' testbed and code generator; the
+// reproduced claims are the row *relationships* (QSS smaller and faster) and
+// the task counts, which match exactly.
+#include "bench_util.hpp"
+
+#include "apps/atm/atm_net.hpp"
+#include "apps/atm/table1.hpp"
+#include "pn/structure.hpp"
+#include "qss/scheduler.hpp"
+#include "qss/valid_schedule.hpp"
+
+namespace {
+
+using namespace fcqss;
+
+void report()
+{
+    benchutil::heading("Figure 8 / net statistics");
+    const auto net = atm::build_atm_net();
+    const auto stats = pn::statistics(net);
+    benchutil::row("transitions (paper: 49)", std::to_string(stats.transitions));
+    benchutil::row("places (paper: 41)", std::to_string(stats.places));
+    benchutil::row("non-deterministic choices (paper: 11)", std::to_string(stats.choices));
+    const auto schedule = qss::quasi_static_schedule(net);
+    benchutil::row("finite complete cycles in valid schedule (paper: 120)",
+                   std::to_string(schedule.entries.size()));
+    benchutil::row("Definition 3.1 validity check",
+                   qss::check_valid_schedule(net, schedule.cycles()) ? "VIOLATED" : "ok");
+
+    benchutil::heading("Table I: QSS vs functional task partitioning (50 ATM cells)");
+    atm::testbench_options options;
+    options.cell_count = 50;
+    const auto events = atm::make_testbench(options);
+    const auto qss_impl = atm::run_qss_implementation(events, options.flow_count);
+    const auto fun_impl = atm::run_functional_implementation(events, options.flow_count);
+
+    std::printf("  %-24s %14s %14s\n", "Sw implementation", "QSS",
+                "Functional part.");
+    std::printf("  %-24s %14d %14d   (paper: 2 vs 5)\n", "Number of tasks",
+                qss_impl.task_count, fun_impl.task_count);
+    std::printf("  %-24s %14d %14d   (paper: 1664 vs 2187)\n", "Lines of C code",
+                qss_impl.lines_of_c, fun_impl.lines_of_c);
+    std::printf("  %-24s %14lld %14lld   (paper: 197526 vs 249726)\n", "Clock cycles",
+                static_cast<long long>(qss_impl.clock_cycles),
+                static_cast<long long>(fun_impl.clock_cycles));
+    std::printf("  %-24s %14.3f %14.3f   (paper: 1.000 vs 1.264)\n", "Cycle ratio",
+                1.0,
+                static_cast<double>(fun_impl.clock_cycles) /
+                    static_cast<double>(qss_impl.clock_cycles));
+
+    benchutil::heading("Cross-implementation functional equivalence");
+    bool identical = qss_impl.emitted.size() == fun_impl.emitted.size();
+    for (std::size_t i = 0; identical && i < qss_impl.emitted.size(); ++i) {
+        identical = qss_impl.emitted[i].id == fun_impl.emitted[i].id;
+    }
+    benchutil::row("emitted cell streams identical", identical ? "yes" : "NO");
+    benchutil::row("cells emitted",
+                   std::to_string(qss_impl.emitted.size()) + " of " +
+                       std::to_string(options.cell_count));
+    benchutil::row("cells discarded (MSD)", std::to_string(qss_impl.dropped_cells));
+    benchutil::row("idle slots", std::to_string(qss_impl.idle_slots));
+
+    benchutil::heading("Per-task activation accounting");
+    for (const auto& [name, task] : qss_impl.rtos.tasks) {
+        benchutil::row("QSS " + name,
+                       std::to_string(task.activations) + " activations, " +
+                           std::to_string(task.cycles) + " cycles");
+    }
+    for (const auto& [name, task] : fun_impl.rtos.tasks) {
+        benchutil::row("functional " + name,
+                       std::to_string(task.activations) + " activations, " +
+                           std::to_string(task.cycles) + " cycles, " +
+                           std::to_string(task.messages_sent) + " msgs sent");
+    }
+}
+
+void bm_qss_implementation(benchmark::State& state)
+{
+    atm::testbench_options options;
+    options.cell_count = static_cast<int>(state.range(0));
+    const auto events = atm::make_testbench(options);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(atm::run_qss_implementation(events, options.flow_count));
+    }
+    state.SetComplexityN(options.cell_count);
+}
+BENCHMARK(bm_qss_implementation)->Arg(10)->Arg(50)->Arg(200)->Complexity();
+
+void bm_functional_implementation(benchmark::State& state)
+{
+    atm::testbench_options options;
+    options.cell_count = static_cast<int>(state.range(0));
+    const auto events = atm::make_testbench(options);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            atm::run_functional_implementation(events, options.flow_count));
+    }
+    state.SetComplexityN(options.cell_count);
+}
+BENCHMARK(bm_functional_implementation)->Arg(10)->Arg(50)->Arg(200)->Complexity();
+
+void bm_atm_full_qss_analysis(benchmark::State& state)
+{
+    const auto net = atm::build_atm_net();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(qss::quasi_static_schedule(net));
+    }
+}
+BENCHMARK(bm_atm_full_qss_analysis);
+
+} // namespace
+
+FCQSS_BENCH_MAIN(report)

@@ -1,0 +1,73 @@
+// Extension bench (the paper's proposed future work, Sec. 6): explore
+// different schedules and evaluate the tradeoff between code size and buffer
+// size.  Unrolling the cycles k-fold batches k input events into straight-
+// line code: schedule length (static code) grows linearly while peak token
+// counts (buffer memory) grow with the batch size.  Also runs the footnote-2
+// executability check on every paper net.
+#include "bench_util.hpp"
+
+#include "apps/atm/atm_net.hpp"
+#include "nets/paper_nets.hpp"
+#include "qss/executability.hpp"
+#include "qss/scheduler.hpp"
+#include "qss/tradeoff.hpp"
+
+namespace {
+
+using namespace fcqss;
+
+void report()
+{
+    benchutil::heading("Code size vs buffer size across schedule unrollings");
+    for (const pn::petri_net& net :
+         {nets::figure_4(), nets::figure_5(), atm::build_atm_net()}) {
+        const auto result = qss::quasi_static_schedule(net);
+        std::printf("  net %-12s %8s %16s %16s %12s\n", net.name().c_str(), "unroll",
+                    "schedule len", "buffer tokens", "max place");
+        for (const qss::tradeoff_point& point :
+             qss::explore_tradeoff(net, result, 4)) {
+            std::printf("  %16s %8lld %16lld %16lld %12lld\n", "",
+                        static_cast<long long>(point.unroll),
+                        static_cast<long long>(point.schedule_length),
+                        static_cast<long long>(point.total_buffer_tokens),
+                        static_cast<long long>(point.max_place_tokens));
+        }
+    }
+
+    benchutil::heading("Footnote-2 executability check");
+    for (const pn::petri_net& net : {nets::figure_2(), nets::figure_3a(),
+                                     nets::figure_4(), nets::figure_5(),
+                                     atm::build_atm_net()}) {
+        const auto result = qss::quasi_static_schedule(net);
+        const auto failure = qss::check_executability(net, result);
+        benchutil::row(net.name(),
+                       failure ? ("BLOCKS: " + failure->context) : "executable");
+    }
+}
+
+void bm_tradeoff_fig5(benchmark::State& state)
+{
+    const auto net = nets::figure_5();
+    const auto result = qss::quasi_static_schedule(net);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            qss::explore_tradeoff(net, result, state.range(0)));
+    }
+}
+BENCHMARK(bm_tradeoff_fig5)->Arg(2)->Arg(4)->Arg(8);
+
+void bm_executability_atm(benchmark::State& state)
+{
+    const auto net = atm::build_atm_net();
+    const auto result = qss::quasi_static_schedule(net);
+    qss::executability_options options;
+    options.random_rounds = 4;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(qss::check_executability(net, result, options));
+    }
+}
+BENCHMARK(bm_executability_atm);
+
+} // namespace
+
+FCQSS_BENCH_MAIN(report)

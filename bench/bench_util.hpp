@@ -1,0 +1,40 @@
+// Shared helpers for the reproduction benches: each bench binary first
+// prints the paper-facing report (the rows/series the paper's figure or
+// table shows), then runs its google-benchmark timings.
+#ifndef FCQSS_BENCH_BENCH_UTIL_HPP
+#define FCQSS_BENCH_BENCH_UTIL_HPP
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+namespace fcqss::benchutil {
+
+inline void heading(const std::string& title)
+{
+    std::printf("\n==== %s ====\n", title.c_str());
+}
+
+inline void row(const std::string& label, const std::string& value)
+{
+    std::printf("  %-44s %s\n", (label + ":").c_str(), value.c_str());
+}
+
+/// Standard main body: print the report, then run benchmarks.
+#define FCQSS_BENCH_MAIN(report_fn)                                                      \
+    int main(int argc, char** argv)                                                     \
+    {                                                                                    \
+        report_fn();                                                                     \
+        ::benchmark::Initialize(&argc, argv);                                            \
+        if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {                      \
+            return 1;                                                                    \
+        }                                                                                \
+        ::benchmark::RunSpecifiedBenchmarks();                                           \
+        ::benchmark::Shutdown();                                                         \
+        return 0;                                                                        \
+    }
+
+} // namespace fcqss::benchutil
+
+#endif // FCQSS_BENCH_BENCH_UTIL_HPP

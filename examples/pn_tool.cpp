@@ -1,0 +1,133 @@
+// pn_tool: command-line front end for the whole pipeline.
+//
+//   pn_tool analyze  model.pn      structural + behavioural analysis
+//   pn_tool schedule model.pn      quasi-static schedulability + cycles
+//   pn_tool report   model.pn      full synthesis report
+//   pn_tool codegen  model.pn      emit the synthesized C to stdout
+//   pn_tool dot      model.pn      emit graphviz
+//
+// Example model files can be produced with pnio::save_net or written by
+// hand; see the grammar in src/pnio/lexer.hpp.
+#include <cstdio>
+#include <cstring>
+
+#include "codegen/c_emitter.hpp"
+#include "codegen/task_codegen.hpp"
+#include "pn/coverability.hpp"
+#include "pn/invariants.hpp"
+#include "pn/net_class.hpp"
+#include "pn/structure.hpp"
+#include "pnio/dot.hpp"
+#include "pnio/parser.hpp"
+#include "qss/report.hpp"
+#include "qss/scheduler.hpp"
+#include "qss/task_partition.hpp"
+#include "qss/valid_schedule.hpp"
+
+namespace {
+
+using namespace fcqss;
+
+int analyze(const pn::petri_net& net)
+{
+    const pn::net_statistics stats = pn::statistics(net);
+    std::printf("net '%s': %zu places, %zu transitions, %zu arcs\n", net.name().c_str(),
+                stats.places, stats.transitions, stats.arcs);
+    std::printf("  class: %s\n", to_string(pn::classify(net)).c_str());
+    std::printf("  choices: %zu, merges: %zu, sources: %zu, sinks: %zu\n", stats.choices,
+                stats.merges, stats.source_transitions, stats.sink_transitions);
+    std::printf("  consistent: %s, conservative: %s\n",
+                pn::is_consistent(net) ? "yes" : "no",
+                pn::is_conservative(net) ? "yes" : "no");
+
+    const auto tree = pn::build_coverability_tree(net);
+    if (tree.truncated) {
+        std::printf("  boundedness: unknown (coverability tree truncated)\n");
+    } else {
+        std::printf("  bounded under arbitrary firing: %s\n",
+                    pn::is_bounded(tree) ? "yes" : "no");
+    }
+
+    std::printf("  minimal T-invariants:\n");
+    for (const auto& x : pn::t_invariants(net)) {
+        std::printf("    (");
+        for (std::size_t i = 0; i < x.size(); ++i) {
+            std::printf("%s%lld", i ? "," : "", static_cast<long long>(x[i]));
+        }
+        std::printf(")\n");
+    }
+    return 0;
+}
+
+int schedule(const pn::petri_net& net)
+{
+    const qss::qss_result result = qss::quasi_static_schedule(net);
+    if (!result.schedulable) {
+        std::printf("NOT quasi-statically schedulable.\n%s\n", result.diagnosis.c_str());
+        return 1;
+    }
+    std::printf("quasi-statically schedulable: %zu finite complete cycles\n",
+                result.entries.size());
+    for (const qss::schedule_entry& entry : result.entries) {
+        std::printf("  %s\n", to_string(net, entry.analysis.cycle).c_str());
+    }
+    const auto violation = qss::check_valid_schedule(net, result.cycles());
+    std::printf("Definition 3.1 check: %s\n",
+                violation ? violation->describe(net).c_str() : "valid");
+    const qss::task_partition partition = qss::partition_tasks(net, result);
+    std::printf("tasks: %zu\n", partition.tasks.size());
+    for (const qss::task_group& task : partition.tasks) {
+        std::printf("  %s (%zu transitions)\n", task.name.c_str(), task.members.size());
+    }
+    return 0;
+}
+
+int codegen(const pn::petri_net& net)
+{
+    const qss::qss_result result = qss::quasi_static_schedule(net);
+    if (!result.schedulable) {
+        std::fprintf(stderr, "not schedulable: %s\n", result.diagnosis.c_str());
+        return 1;
+    }
+    const qss::task_partition partition = qss::partition_tasks(net, result);
+    const cgen::generated_program program =
+        cgen::generate_program(net, result, partition);
+    std::printf("%s", cgen::emit_c(program).c_str());
+    return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    if (argc != 3) {
+        std::fprintf(stderr,
+                     "usage: pn_tool {analyze|schedule|report|codegen|dot} model.pn\n");
+        return 2;
+    }
+    try {
+        const pn::petri_net net = pnio::load_net(argv[2]);
+        if (std::strcmp(argv[1], "analyze") == 0) {
+            return analyze(net);
+        }
+        if (std::strcmp(argv[1], "schedule") == 0) {
+            return schedule(net);
+        }
+        if (std::strcmp(argv[1], "report") == 0) {
+            std::printf("%s", qss::synthesis_report(net).c_str());
+            return 0;
+        }
+        if (std::strcmp(argv[1], "codegen") == 0) {
+            return codegen(net);
+        }
+        if (std::strcmp(argv[1], "dot") == 0) {
+            std::printf("%s", pnio::to_dot(net).c_str());
+            return 0;
+        }
+        std::fprintf(stderr, "unknown command '%s'\n", argv[1]);
+        return 2;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

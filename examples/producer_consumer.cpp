@@ -1,0 +1,78 @@
+// A producer/consumer pipeline with data-dependent control and multirate
+// arcs — the while-do pattern of the paper, executed in-process through the
+// generated-code interpreter so you can watch counters evolve.
+//
+// A packetizer consumes 3 words per packet (multirate join of a stream),
+// and a parity choice routes packets to a fast path or a retry path that
+// emits two retransmissions per bad packet.
+#include <cstdio>
+
+#include "codegen/c_emitter.hpp"
+#include "codegen/interpreter.hpp"
+#include "codegen/task_codegen.hpp"
+#include "pn/builder.hpp"
+#include "qss/scheduler.hpp"
+#include "qss/task_partition.hpp"
+
+int main()
+{
+    using namespace fcqss;
+
+    pn::net_builder builder("producer_consumer");
+    const auto word = builder.add_transition("word_in"); // source: one word
+    const auto pack = builder.add_transition("pack");    // 3 words -> packet
+    const auto good = builder.add_transition("good");
+    const auto bad = builder.add_transition("bad");
+    const auto send = builder.add_transition("send");
+    const auto retry = builder.add_transition("retry");
+
+    const auto buffer = builder.add_place("buffer");
+    const auto parity = builder.add_place("parity");
+    const auto out = builder.add_place("out");
+    const auto retx = builder.add_place("retx");
+
+    builder.add_arc(word, buffer);
+    builder.add_arc(buffer, pack, 3); // multirate: pack waits for 3 words
+    builder.add_arc(pack, parity);
+    builder.add_arc(parity, good);
+    builder.add_arc(parity, bad);
+    builder.add_arc(good, out);
+    builder.add_arc(out, send);
+    builder.add_arc(bad, retx, 2); // a bad packet costs two retransmissions
+    builder.add_arc(retx, retry);
+    const pn::petri_net net = std::move(builder).build();
+
+    const qss::qss_result result = qss::quasi_static_schedule(net);
+    if (!result.schedulable) {
+        std::printf("not schedulable: %s\n", result.diagnosis.c_str());
+        return 1;
+    }
+    std::printf("valid schedule:\n");
+    for (const qss::schedule_entry& entry : result.entries) {
+        std::printf("  %s\n", to_string(net, entry.analysis.cycle).c_str());
+    }
+
+    const qss::task_partition partition = qss::partition_tasks(net, result);
+    const cgen::generated_program program =
+        cgen::generate_program(net, result, partition);
+
+    // Execute 9 word arrivals; parity alternates good/bad deterministically.
+    cgen::program_instance instance(program);
+    int packet_count = 0;
+    const cgen::choice_oracle oracle = [&](pn::place_id) { return packet_count++ % 2; };
+    const cgen::action_observer trace = [&](pn::transition_id t) {
+        std::printf("    fired %s\n", net.transition_name(t).c_str());
+    };
+
+    for (int i = 1; i <= 9; ++i) {
+        std::printf("word %d arrives (buffer=%lld)\n", i,
+                    static_cast<long long>(instance.counter(buffer)));
+        instance.run_source(word, oracle, trace);
+    }
+    std::printf("final counters: buffer=%lld retx=%lld\n",
+                static_cast<long long>(instance.counter(buffer)),
+                static_cast<long long>(instance.counter(retx)));
+
+    std::printf("\n----- generated C -----\n%s", cgen::emit_c(program).c_str());
+    return 0;
+}

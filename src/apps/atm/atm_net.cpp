@@ -1,0 +1,342 @@
+#include "apps/atm/atm_net.hpp"
+
+#include "base/error.hpp"
+#include "base/strings.hpp"
+#include "pn/builder.hpp"
+
+namespace fcqss::atm {
+
+pn::petri_net build_atm_net()
+{
+    pn::net_builder b("atm_server");
+
+    // ------------------------------------------------------------------
+    // Cell path (activated by the Cell interrupt).
+    // ------------------------------------------------------------------
+    const auto cell = b.add_transition("Cell"); // source: non-empty cell arrives
+
+    // MSD: classify the incoming cell.  msd_state is the message-state table
+    // the classifier reads and writes (self-loop: read-modify-write).
+    const auto msd_classify = b.add_transition("msd_classify");
+    const auto p_cell_in = b.add_place("cell_in");
+    const auto p_msd_state = b.add_place("msd_state", 1);
+    b.add_arc(cell, p_cell_in);
+    b.add_arc(p_cell_in, msd_classify);
+    b.add_arc(p_msd_state, msd_classify);
+    b.add_arc(msd_classify, p_msd_state);
+
+    // Choice c1: cell kind — start / continuation / end of message.
+    const auto msd_som = b.add_transition("msd_som");
+    const auto msd_com = b.add_transition("msd_com");
+    const auto msd_eom = b.add_transition("msd_eom");
+    const auto p_msd_kind = b.add_place("msd_kind");
+    b.add_arc(msd_classify, p_msd_kind);
+    b.add_arc(p_msd_kind, msd_som);
+    b.add_arc(p_msd_kind, msd_com);
+    b.add_arc(p_msd_kind, msd_eom);
+
+    // Choice c2 (EPD): accept the new message or reject it up front.
+    const auto som_accept = b.add_transition("som_accept");
+    const auto som_reject = b.add_transition("som_reject"); // terminal: drop + mark
+    const auto p_som_check = b.add_place("som_check");
+    b.add_arc(msd_som, p_som_check);
+    b.add_arc(p_som_check, som_accept);
+    b.add_arc(p_som_check, som_reject);
+
+    // Choice c3 (PPD): continuation of a dropped message is discarded.
+    const auto com_pass = b.add_transition("com_pass");
+    const auto com_drop = b.add_transition("com_drop"); // terminal
+    const auto p_com_check = b.add_place("com_check");
+    b.add_arc(msd_com, p_com_check);
+    b.add_arc(p_com_check, com_pass);
+    b.add_arc(p_com_check, com_drop);
+
+    // Choice c4: end of message — store it, or drop it and clear the mark.
+    const auto eom_pass = b.add_transition("eom_pass");
+    const auto eom_drop = b.add_transition("eom_drop"); // terminal: reset mark
+    const auto p_eom_check = b.add_place("eom_check");
+    b.add_arc(msd_eom, p_eom_check);
+    b.add_arc(p_eom_check, eom_pass);
+    b.add_arc(p_eom_check, eom_drop);
+
+    // BUFFER: store accepted cells.
+    const auto buf_store_som = b.add_transition("buf_store_som");
+    const auto buf_store_com = b.add_transition("buf_store_com"); // terminal
+    const auto buf_store_eom = b.add_transition("buf_store_eom");
+    const auto p_som_store = b.add_place("som_store");
+    const auto p_com_store = b.add_place("com_store");
+    const auto p_eom_store = b.add_place("eom_store");
+    const auto p_buf_state = b.add_place("buf_state", 1); // queue-table RMW
+    b.add_arc(som_accept, p_som_store);
+    b.add_arc(p_som_store, buf_store_som);
+    b.add_arc(com_pass, p_com_store);
+    b.add_arc(p_com_store, buf_store_com);
+    b.add_arc(eom_pass, p_eom_store);
+    b.add_arc(p_eom_store, buf_store_eom);
+    b.add_arc(p_buf_state, buf_store_eom);
+    b.add_arc(buf_store_eom, p_buf_state);
+
+    // WFQ, cell side: a stored start-of-message requests scheduling through
+    // the arbiter; a new flow gets a finish-time stamp, a backlogged flow is
+    // simply requeued.
+    const auto arb_grant_cell = b.add_transition("arb_grant_cell");
+    const auto p_wfq_cell_req = b.add_place("wfq_cell_req");
+    b.add_arc(buf_store_som, p_wfq_cell_req);
+    b.add_arc(p_wfq_cell_req, arb_grant_cell);
+
+    // Choice c5: is this VC already backlogged?
+    const auto wfq_new_flow = b.add_transition("wfq_new_flow");
+    const auto wfq_backlogged = b.add_transition("wfq_backlogged");
+    const auto p_wfq_cell_kind = b.add_place("wfq_cell_kind");
+    b.add_arc(arb_grant_cell, p_wfq_cell_kind);
+    b.add_arc(p_wfq_cell_kind, wfq_new_flow);
+    b.add_arc(p_wfq_cell_kind, wfq_backlogged);
+
+    const auto wfq_stamp = b.add_transition("wfq_stamp");     // terminal (RMW below)
+    const auto wfq_requeue = b.add_transition("wfq_requeue"); // terminal
+    const auto p_stamp_req = b.add_place("stamp_req");
+    const auto p_requeue_req = b.add_place("requeue_req");
+    const auto p_wfq_table = b.add_place("wfq_table", 1); // flow-table RMW
+    b.add_arc(wfq_new_flow, p_stamp_req);
+    b.add_arc(p_stamp_req, wfq_stamp);
+    b.add_arc(p_wfq_table, wfq_stamp);
+    b.add_arc(wfq_stamp, p_wfq_table);
+    b.add_arc(wfq_backlogged, p_requeue_req);
+    b.add_arc(p_requeue_req, wfq_requeue);
+
+    // WFQ, end-of-message side: message completion may close the flow.
+    const auto arb_grant_eom = b.add_transition("arb_grant_eom");
+    const auto p_eom_wfq_req = b.add_place("eom_wfq_req");
+    b.add_arc(buf_store_eom, p_eom_wfq_req);
+    b.add_arc(p_eom_wfq_req, arb_grant_eom);
+
+    // Choice c6: other complete messages still pending on this VC?
+    const auto eom_flow_done = b.add_transition("eom_flow_done");
+    const auto eom_flow_more = b.add_transition("eom_flow_more");
+    const auto p_eom_flow_kind = b.add_place("eom_flow_kind");
+    b.add_arc(arb_grant_eom, p_eom_flow_kind);
+    b.add_arc(p_eom_flow_kind, eom_flow_done);
+    b.add_arc(p_eom_flow_kind, eom_flow_more);
+
+    const auto eom_close = b.add_transition("eom_close"); // terminal
+    const auto eom_next = b.add_transition("eom_next");   // terminal
+    const auto p_close_req = b.add_place("close_req");
+    const auto p_next_req = b.add_place("next_req");
+    b.add_arc(eom_flow_done, p_close_req);
+    b.add_arc(p_close_req, eom_close);
+    b.add_arc(eom_flow_more, p_next_req);
+    b.add_arc(p_next_req, eom_next);
+
+    // ------------------------------------------------------------------
+    // Tick path (activated by the periodic Tick event).
+    // ------------------------------------------------------------------
+    const auto tick = b.add_transition("Tick"); // source
+    const auto tick_count = b.add_transition("tick_count");
+    const auto p_tick_in = b.add_place("tick_in");
+    b.add_arc(tick, p_tick_in);
+    b.add_arc(p_tick_in, tick_count);
+
+    // Choice c7: did this tick close a cell slot?
+    const auto slot_boundary = b.add_transition("slot_boundary");
+    const auto slot_mid = b.add_transition("slot_mid");
+    const auto p_tick_kind = b.add_place("tick_kind");
+    b.add_arc(tick_count, p_tick_kind);
+    b.add_arc(p_tick_kind, slot_boundary);
+    b.add_arc(p_tick_kind, slot_mid);
+
+    const auto tick_idle = b.add_transition("tick_idle"); // terminal
+    const auto p_idle_req = b.add_place("idle_req");
+    b.add_arc(slot_mid, p_idle_req);
+    b.add_arc(p_idle_req, tick_idle);
+
+    // Slot boundary forks: serve the output port AND advance virtual time.
+    const auto ce_begin = b.add_transition("ce_begin");
+    const auto p_extract_req = b.add_place("extract_req");
+    const auto p_vt_req = b.add_place("vt_req");
+    b.add_arc(slot_boundary, p_extract_req);
+    b.add_arc(slot_boundary, p_vt_req);
+    b.add_arc(p_extract_req, ce_begin);
+
+    // Choice c8: buffer empty (emit an idle cell) or backlogged?
+    const auto ce_empty = b.add_transition("ce_empty");
+    const auto ce_nonempty = b.add_transition("ce_nonempty");
+    const auto p_ce_state = b.add_place("ce_state");
+    b.add_arc(ce_begin, p_ce_state);
+    b.add_arc(p_ce_state, ce_empty);
+    b.add_arc(p_ce_state, ce_nonempty);
+
+    const auto emit_idle = b.add_transition("emit_idle"); // terminal
+    const auto p_idle_emit_req = b.add_place("idle_emit_req");
+    b.add_arc(ce_empty, p_idle_emit_req);
+    b.add_arc(p_idle_emit_req, emit_idle);
+
+    // Select a cell; ce_select keeps a selection scratchpad (RMW).
+    const auto ce_select = b.add_transition("ce_select");
+    const auto p_select_req = b.add_place("select_req");
+    const auto p_sel_state = b.add_place("sel_state", 1);
+    b.add_arc(ce_nonempty, p_select_req);
+    b.add_arc(p_select_req, ce_select);
+    b.add_arc(p_sel_state, ce_select);
+    b.add_arc(ce_select, p_sel_state);
+
+    // Choice c9: cell loss priority bit of the selected cell.
+    const auto sel_clp0 = b.add_transition("sel_clp0");
+    const auto sel_clp1 = b.add_transition("sel_clp1");
+    const auto p_sel_clp = b.add_place("sel_clp");
+    b.add_arc(ce_select, p_sel_clp);
+    b.add_arc(p_sel_clp, sel_clp0);
+    b.add_arc(p_sel_clp, sel_clp1);
+
+    // Both CLP outcomes converge on the tick-side arbiter grant.
+    const auto arb_grant_tick = b.add_transition("arb_grant_tick");
+    const auto p_sel_done = b.add_place("sel_done"); // merge place
+    b.add_arc(sel_clp0, p_sel_done);
+    b.add_arc(sel_clp1, p_sel_done);
+    b.add_arc(p_sel_done, arb_grant_tick);
+
+    // WFQ, tick side: pick the minimum finish time (flow-table RMW).
+    const auto wfq_pick = b.add_transition("wfq_pick");
+    const auto p_pick_req = b.add_place("pick_req");
+    const auto p_pick_state = b.add_place("pick_state", 1);
+    b.add_arc(arb_grant_tick, p_pick_req);
+    b.add_arc(p_pick_req, wfq_pick);
+    b.add_arc(p_pick_state, wfq_pick);
+    b.add_arc(wfq_pick, p_pick_state);
+
+    // Choice c10 (3-way): flow accounting after the pick — the flow goes
+    // empty, or its next cell is restamped (with or without a finish-time
+    // clock wrap).
+    const auto flow_empty = b.add_transition("flow_empty");
+    const auto restamp_normal = b.add_transition("restamp_normal");
+    const auto restamp_wrap = b.add_transition("restamp_wrap");
+    const auto p_flow_after = b.add_place("flow_after");
+    b.add_arc(wfq_pick, p_flow_after);
+    b.add_arc(p_flow_after, flow_empty);
+    b.add_arc(p_flow_after, restamp_normal);
+    b.add_arc(p_flow_after, restamp_wrap);
+
+    const auto flow_close = b.add_transition("flow_close");
+    const auto p_close_req2 = b.add_place("flow_close_req");
+    b.add_arc(flow_empty, p_close_req2);
+    b.add_arc(p_close_req2, flow_close);
+
+    // All accounting outcomes converge on the dequeue (RMW on the buffer).
+    const auto ce_dequeue = b.add_transition("ce_dequeue");
+    const auto p_deq_ready = b.add_place("deq_ready"); // merge place
+    const auto p_deq_state = b.add_place("deq_state", 1);
+    b.add_arc(flow_close, p_deq_ready);
+    b.add_arc(restamp_normal, p_deq_ready);
+    b.add_arc(restamp_wrap, p_deq_ready);
+    b.add_arc(p_deq_ready, ce_dequeue);
+    b.add_arc(p_deq_state, ce_dequeue);
+    b.add_arc(ce_dequeue, p_deq_state);
+
+    // Header rewrite + emission (Emit_cell output of Fig. 8).
+    const auto emit_format = b.add_transition("emit_format");
+    const auto emit_cell = b.add_transition("emit_cell"); // terminal: Emit_cell
+    const auto p_emit_ready = b.add_place("emit_ready");
+    const auto p_emit_out = b.add_place("emit_out");
+    b.add_arc(ce_dequeue, p_emit_ready);
+    b.add_arc(p_emit_ready, emit_format);
+    b.add_arc(emit_format, p_emit_out);
+    b.add_arc(p_emit_out, emit_cell);
+
+    // Virtual-time chain (parallel branch of the slot boundary).
+    const auto vt_advance = b.add_transition("vt_advance");
+    b.add_arc(p_vt_req, vt_advance);
+
+    // Choice c12... no: c11 above was restamp; this is the 11th cluster.
+    const auto vt_normal = b.add_transition("vt_normal");
+    const auto vt_wrap = b.add_transition("vt_wrap");
+    const auto p_vt_kind = b.add_place("vt_kind");
+    b.add_arc(vt_advance, p_vt_kind);
+    b.add_arc(p_vt_kind, vt_normal);
+    b.add_arc(p_vt_kind, vt_wrap);
+
+    // Both outcomes converge on the commit; the advance also hands the old
+    // clock value around the choice diamond (parallel data place).
+    const auto vt_commit = b.add_transition("vt_commit"); // terminal
+    const auto p_vt_done = b.add_place("vt_done"); // merge place
+    const auto p_vt_carry = b.add_place("vt_carry"); // diamond-parallel data
+    b.add_arc(vt_normal, p_vt_done);
+    b.add_arc(vt_wrap, p_vt_done);
+    b.add_arc(vt_advance, p_vt_carry);
+    b.add_arc(p_vt_done, vt_commit);
+    b.add_arc(p_vt_carry, vt_commit);
+
+    pn::petri_net net = std::move(b).build();
+    require_internal(net.transition_count() == 49,
+                     "atm_net: expected 49 transitions (paper statistic)");
+    require_internal(net.place_count() == 41, "atm_net: expected 41 places");
+    return net;
+}
+
+std::string to_string(module m)
+{
+    switch (m) {
+    case module::msd: return "MSD";
+    case module::buffer: return "BUFFER";
+    case module::wfq: return "WFQ_SCHEDULING";
+    case module::cell_extract: return "CELL_EXTRACT";
+    case module::arbiter_counter: return "ARBITER_COUNTER";
+    }
+    return "unknown";
+}
+
+module module_of(const std::string& transition_name)
+{
+    // MSD: arrival, classification and discard policy.
+    for (const char* name :
+         {"Cell", "msd_classify", "msd_som", "msd_com", "msd_eom", "som_accept",
+          "som_reject", "com_pass", "com_drop", "eom_pass", "eom_drop"}) {
+        if (transition_name == name) {
+            return module::msd;
+        }
+    }
+    // BUFFER: stores.
+    for (const char* name : {"buf_store_som", "buf_store_com", "buf_store_eom"}) {
+        if (transition_name == name) {
+            return module::buffer;
+        }
+    }
+    // WFQ: stamping, pick, restamp, flow bookkeeping.
+    for (const char* name :
+         {"wfq_new_flow", "wfq_backlogged", "wfq_stamp", "wfq_requeue", "eom_flow_done",
+          "eom_flow_more", "eom_close", "eom_next", "wfq_pick", "flow_empty",
+          "flow_close", "restamp_normal", "restamp_wrap"}) {
+        if (transition_name == name) {
+            return module::wfq;
+        }
+    }
+    // CELL_EXTRACT: slot service and emission.
+    for (const char* name : {"ce_begin", "ce_empty", "ce_nonempty", "emit_idle",
+                             "ce_select", "sel_clp0", "sel_clp1", "ce_dequeue",
+                             "emit_format", "emit_cell"}) {
+        if (transition_name == name) {
+            return module::cell_extract;
+        }
+    }
+    // ARBITER + COUNTER: grants, tick counting, virtual time.
+    for (const char* name :
+         {"arb_grant_cell", "arb_grant_eom", "arb_grant_tick", "Tick", "tick_count",
+          "slot_boundary", "slot_mid", "tick_idle", "vt_advance", "vt_normal", "vt_wrap",
+          "vt_commit"}) {
+        if (transition_name == name) {
+            return module::arbiter_counter;
+        }
+    }
+    throw model_error("atm::module_of: unknown transition '" + transition_name + "'");
+}
+
+std::vector<std::string> transitions_of(const pn::petri_net& net, module m)
+{
+    std::vector<std::string> names;
+    for (pn::transition_id t : net.transitions()) {
+        if (module_of(net.transition_name(t)) == m) {
+            names.push_back(net.transition_name(t));
+        }
+    }
+    return names;
+}
+
+} // namespace fcqss::atm

@@ -1,0 +1,51 @@
+// fcqss — apps/atm/atm_net.hpp
+// The Sec. 5 case study: an ATM server for Virtual Private Networks with
+// (1) message selective discard (MSD) and (2) WFQ bandwidth control.
+// Inputs with independent rates: Cell (irregular interrupt) and Tick
+// (periodic).  The exact net is published only in the companion tech report;
+// this reconstruction follows Fig. 8's module structure and reproduces the
+// paper's statistics exactly: 49 transitions, 41 places, 11 choice places,
+// 120 distinct T-reductions, and a 2-task QSS partition.
+//
+// Module map (Fig. 8):
+//   MSD           — classify cell (SOM/COM/EOM), EPD accept/reject at start
+//                   of message, PPD pass/drop for continuations and ends
+//   BUFFER        — per-VC cell queues, occupancy accounting
+//   WFQ           — finish-time stamping (cell side), min-pick + restamp
+//                   (tick side)
+//   CELL_EXTRACT  — slot service: idle cell or selected-cell dequeue + emit
+//   ARBITER+COUNTER — tick slot counting, WFQ grant points, virtual time
+#ifndef FCQSS_APPS_ATM_ATM_NET_HPP
+#define FCQSS_APPS_ATM_ATM_NET_HPP
+
+#include <string>
+#include <vector>
+
+#include "pn/petri_net.hpp"
+
+namespace fcqss::atm {
+
+/// Builds the ATM server FCPN.
+[[nodiscard]] pn::petri_net build_atm_net();
+
+/// The five functional modules of Fig. 8, in declaration order.
+enum class module {
+    msd,
+    buffer,
+    wfq,
+    cell_extract,
+    arbiter_counter,
+};
+
+[[nodiscard]] std::string to_string(module m);
+
+/// Module owning each transition (by transition name).  Used to derive the
+/// functional-task-partitioning baseline (one task per module).
+[[nodiscard]] module module_of(const std::string& transition_name);
+
+/// All transition names of one module, in net declaration order.
+[[nodiscard]] std::vector<std::string> transitions_of(const pn::petri_net& net, module m);
+
+} // namespace fcqss::atm
+
+#endif // FCQSS_APPS_ATM_ATM_NET_HPP

@@ -1,0 +1,283 @@
+#include "apps/atm/atm_semantics.hpp"
+
+#include <algorithm>
+
+#include "base/error.hpp"
+
+namespace fcqss::atm {
+
+namespace {
+
+// WFQ finish-time increment for a flow: a common numerator keeps the
+// arithmetic integral (weights 1..4 divide 60).
+constexpr std::int64_t finish_numerator = 60;
+constexpr std::int64_t virtual_time_step = 10;
+
+std::int64_t finish_step(const flow_state& flow)
+{
+    return finish_numerator / flow.weight;
+}
+
+} // namespace
+
+atm_state::atm_state(int flow_count)
+{
+    if (flow_count <= 0) {
+        throw model_error("atm_state: flow_count must be positive");
+    }
+    flows.resize(static_cast<std::size_t>(flow_count));
+    for (std::size_t vc = 0; vc < flows.size(); ++vc) {
+        flows[vc].weight = static_cast<std::int64_t>(vc % 3) + 1;
+    }
+}
+
+int atm_state::pick_min_finish() const
+{
+    int best = -1;
+    for (std::size_t vc = 0; vc < flows.size(); ++vc) {
+        if (flows[vc].queue.empty()) {
+            continue;
+        }
+        if (best < 0 || flows[vc].finish_time < flows[static_cast<std::size_t>(best)].finish_time) {
+            best = static_cast<int>(vc);
+        }
+    }
+    return best;
+}
+
+bool atm_state::buffer_empty() const
+{
+    return pick_min_finish() < 0;
+}
+
+namespace {
+
+flow_state& current_flow(atm_state& state)
+{
+    if (!state.current_cell.has_value()) {
+        throw internal_error("atm: cell-path choice with no current cell");
+    }
+    const int vc = state.current_cell->vc;
+    if (vc < 0 || static_cast<std::size_t>(vc) >= state.flows.size()) {
+        throw model_error("atm: cell references unknown VC");
+    }
+    return state.flows[static_cast<std::size_t>(vc)];
+}
+
+flow_state& selected_flow(atm_state& state)
+{
+    if (state.selected_vc < 0 ||
+        static_cast<std::size_t>(state.selected_vc) >= state.flows.size()) {
+        throw internal_error("atm: tick-path action with no selected VC");
+    }
+    return state.flows[static_cast<std::size_t>(state.selected_vc)];
+}
+
+// Branch indices follow each cluster's alternatives in ascending transition
+// id, i.e. the declaration order in build_atm_net().
+int resolve_choice(const std::string& place_name, atm_state& state)
+{
+    if (place_name == "msd_kind") {
+        switch (state.current_cell.value().kind) {
+        case cell_kind::start_of_message: return 0; // msd_som
+        case cell_kind::continuation: return 1;     // msd_com
+        case cell_kind::end_of_message: return 2;   // msd_eom
+        }
+    }
+    if (place_name == "som_check") {
+        // EPD: reject a new message when occupancy reached the threshold.
+        return state.occupancy < state.epd_threshold ? 0 : 1; // accept : reject
+    }
+    if (place_name == "com_check") {
+        return current_flow(state).dropping ? 1 : 0; // drop : pass
+    }
+    if (place_name == "eom_check") {
+        return current_flow(state).dropping ? 1 : 0; // drop : pass
+    }
+    if (place_name == "wfq_cell_kind") {
+        return current_flow(state).backlogged ? 1 : 0; // backlogged : new flow
+    }
+    if (place_name == "eom_flow_kind") {
+        // Done when this was the only complete message pending on the VC.
+        return current_flow(state).pending_messages > 1 ? 1 : 0; // more : done
+    }
+    if (place_name == "tick_kind") {
+        return state.tick_phase == 0 ? 0 : 1; // slot boundary : mid slot
+    }
+    if (place_name == "ce_state") {
+        return state.buffer_empty() ? 0 : 1; // empty : nonempty
+    }
+    if (place_name == "sel_clp") {
+        return selected_flow(state).queue.front().clp ? 1 : 0;
+    }
+    if (place_name == "flow_after") {
+        const flow_state& flow = selected_flow(state);
+        if (flow.queue.size() <= 1) {
+            return 0; // flow_empty
+        }
+        return flow.finish_time + finish_step(flow) >= state.clock_wrap_limit
+                   ? 2  // restamp_wrap
+                   : 1; // restamp_normal
+    }
+    if (place_name == "vt_kind") {
+        return state.virtual_time >= state.clock_wrap_limit ? 1 : 0; // wrap : normal
+    }
+    throw model_error("atm: unknown choice place '" + place_name + "'");
+}
+
+void store_current_cell(atm_state& state)
+{
+    flow_state& flow = current_flow(state);
+    flow.queue.push_back(state.current_cell.value());
+    state.occupancy += 1;
+    // A store re-opens a flow that went idle mid-message.
+    if (!flow.backlogged) {
+        flow.backlogged = true;
+        flow.finish_time =
+            std::max(state.virtual_time, flow.finish_time) + finish_step(flow);
+    }
+}
+
+} // namespace
+
+void apply_action(const std::string& name, atm_state& state)
+{
+    // --- cell path -----------------------------------------------------
+    if (name == "Cell" || name == "msd_classify" || name == "msd_som" ||
+        name == "msd_com" || name == "msd_eom" || name == "com_pass" ||
+        name == "eom_pass" || name == "arb_grant_cell" || name == "arb_grant_eom" ||
+        name == "wfq_new_flow" || name == "wfq_backlogged" || name == "wfq_requeue" ||
+        name == "eom_flow_done" || name == "eom_flow_more" || name == "eom_next") {
+        return; // pure control steps: no state change
+    }
+    if (name == "som_accept") {
+        current_flow(state).dropping = false;
+        return;
+    }
+    if (name == "som_reject") {
+        current_flow(state).dropping = true;
+        state.dropped_cells += 1;
+        return;
+    }
+    if (name == "com_drop") {
+        state.dropped_cells += 1;
+        return;
+    }
+    if (name == "eom_drop") {
+        state.dropped_cells += 1;
+        current_flow(state).dropping = false; // message boundary resets the mark
+        return;
+    }
+    if (name == "buf_store_som" || name == "buf_store_com") {
+        store_current_cell(state);
+        return;
+    }
+    if (name == "buf_store_eom") {
+        store_current_cell(state);
+        current_flow(state).pending_messages += 1;
+        return;
+    }
+    if (name == "wfq_stamp") {
+        flow_state& flow = current_flow(state);
+        flow.backlogged = true;
+        flow.finish_time =
+            std::max(state.virtual_time, flow.finish_time) + finish_step(flow);
+        return;
+    }
+    if (name == "eom_close") {
+        current_flow(state).pending_messages = 0;
+        return;
+    }
+
+    // --- tick path -----------------------------------------------------
+    if (name == "Tick") {
+        return;
+    }
+    if (name == "tick_count") {
+        state.tick_phase = (state.tick_phase + 1) % state.ticks_per_slot;
+        return;
+    }
+    if (name == "slot_boundary" || name == "slot_mid" || name == "ce_begin" ||
+        name == "ce_empty" || name == "ce_nonempty" || name == "sel_clp0" ||
+        name == "arb_grant_tick" || name == "wfq_pick" || name == "flow_empty" ||
+        name == "emit_format" || name == "vt_normal" || name == "vt_commit") {
+        return; // pure control steps
+    }
+    if (name == "tick_idle") {
+        return; // mid-slot tick: nothing to serve
+    }
+    if (name == "emit_idle") {
+        state.idle_slots += 1;
+        return;
+    }
+    if (name == "ce_select") {
+        state.selected_vc = state.pick_min_finish();
+        if (state.selected_vc < 0) {
+            throw internal_error("atm: ce_select fired on an empty buffer");
+        }
+        return;
+    }
+    if (name == "sel_clp1") {
+        state.emitted_clp1 += 1;
+        return;
+    }
+    if (name == "flow_close") {
+        flow_state& flow = selected_flow(state);
+        flow.backlogged = false;
+        return;
+    }
+    if (name == "restamp_normal") {
+        flow_state& flow = selected_flow(state);
+        flow.finish_time += finish_step(flow);
+        return;
+    }
+    if (name == "restamp_wrap") {
+        flow_state& flow = selected_flow(state);
+        flow.finish_time = flow.finish_time + finish_step(flow) - state.clock_wrap_limit;
+        return;
+    }
+    if (name == "ce_dequeue") {
+        flow_state& flow = selected_flow(state);
+        if (flow.queue.empty()) {
+            throw internal_error("atm: dequeue from empty flow");
+        }
+        state.out_cell = flow.queue.front();
+        flow.queue.pop_front();
+        state.occupancy -= 1;
+        if (state.out_cell->kind == cell_kind::end_of_message &&
+            flow.pending_messages > 0) {
+            flow.pending_messages -= 1;
+        }
+        return;
+    }
+    if (name == "emit_cell") {
+        state.emitted.push_back(state.out_cell.value());
+        state.out_cell.reset();
+        return;
+    }
+    if (name == "vt_advance") {
+        state.virtual_time += virtual_time_step;
+        return;
+    }
+    if (name == "vt_wrap") {
+        state.virtual_time -= state.clock_wrap_limit;
+        return;
+    }
+    throw model_error("atm: unknown transition action '" + name + "'");
+}
+
+cgen::choice_oracle make_choice_oracle(const pn::petri_net& net, atm_state& state)
+{
+    return [&net, &state](pn::place_id place) {
+        return resolve_choice(net.place_name(place), state);
+    };
+}
+
+cgen::action_observer make_action_applier(const pn::petri_net& net, atm_state& state)
+{
+    return [&net, &state](pn::transition_id t) {
+        apply_action(net.transition_name(t), state);
+    };
+}
+
+} // namespace fcqss::atm

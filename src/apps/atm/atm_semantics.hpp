@@ -1,0 +1,92 @@
+// fcqss — apps/atm/atm_semantics.hpp
+// Executable behaviour for the ATM server net: a shared server state, the
+// choice oracle that resolves the net's 11 data-dependent choices from that
+// state, and per-transition actions that mutate it (EPD/PPD message discard,
+// per-VC queues, WFQ finish times).  The same state/oracle/action set drives
+// both the QSS implementation and the functional-partitioning baseline, so
+// their outputs can be compared cell by cell.
+#ifndef FCQSS_APPS_ATM_ATM_SEMANTICS_HPP
+#define FCQSS_APPS_ATM_ATM_SEMANTICS_HPP
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "codegen/interpreter.hpp"
+#include "pn/petri_net.hpp"
+
+namespace fcqss::atm {
+
+/// Position of a cell within its message.
+enum class cell_kind {
+    start_of_message,
+    continuation,
+    end_of_message,
+};
+
+/// One ATM cell.
+struct atm_cell {
+    int id = 0;
+    int vc = 0;            // virtual circuit
+    cell_kind kind = cell_kind::start_of_message;
+    bool clp = false;      // cell loss priority bit
+};
+
+/// Per-VC state: the queue, WFQ bookkeeping and the discard mark.
+struct flow_state {
+    std::deque<atm_cell> queue;
+    bool backlogged = false;
+    std::int64_t finish_time = 0;
+    std::int64_t weight = 1;   // WFQ share (cells per finish-time step)
+    bool dropping = false;     // message currently being discarded
+    std::int64_t pending_messages = 0;
+};
+
+/// The whole server state shared by every module.
+struct atm_state {
+    explicit atm_state(int flow_count);
+
+    std::vector<flow_state> flows;
+    std::int64_t occupancy = 0;       // cells stored across all VCs
+    std::int64_t epd_threshold = 12;  // EPD: reject new messages above this
+    std::int64_t virtual_time = 0;
+    std::int64_t clock_wrap_limit = 1 << 20;
+
+    // Cell path scratch.
+    std::optional<atm_cell> current_cell;
+
+    // Tick path scratch.
+    int tick_phase = 0;
+    int ticks_per_slot = 2;
+    int selected_vc = -1;
+    std::optional<atm_cell> out_cell; // dequeued, awaiting emission
+
+    // Outputs.
+    std::vector<atm_cell> emitted;
+    std::int64_t dropped_cells = 0;
+    std::int64_t idle_slots = 0;
+    std::int64_t emitted_clp1 = 0;
+
+    /// VC with the minimum finish time among backlogged flows with cells;
+    /// -1 when none.
+    [[nodiscard]] int pick_min_finish() const;
+    /// True when no backlogged flow holds a cell.
+    [[nodiscard]] bool buffer_empty() const;
+};
+
+/// Binds the net's choice places to `state` (resolution by place NAME, so
+/// the oracle works both on the full net and on module subnets).
+[[nodiscard]] cgen::choice_oracle make_choice_oracle(const pn::petri_net& net,
+                                                     atm_state& state);
+
+/// Applies the action of `transition_name` to `state`.  Unknown names throw.
+void apply_action(const std::string& transition_name, atm_state& state);
+
+/// Adapter: an action observer that applies semantics by transition name.
+[[nodiscard]] cgen::action_observer make_action_applier(const pn::petri_net& net,
+                                                        atm_state& state);
+
+} // namespace fcqss::atm
+
+#endif // FCQSS_APPS_ATM_ATM_SEMANTICS_HPP

@@ -1,0 +1,162 @@
+#include "apps/atm/functional_partition.hpp"
+
+#include <set>
+
+#include "base/error.hpp"
+#include "apps/atm/atm_net.hpp"
+#include "pn/builder.hpp"
+#include "pn/structure.hpp"
+#include "qss/task_partition.hpp"
+
+namespace fcqss::atm {
+
+const module_task& functional_partition::module_named(const std::string& name) const
+{
+    for (const module_task& m : modules) {
+        if (m.name == name) {
+            return m;
+        }
+    }
+    throw model_error("functional_partition: unknown module '" + name + "'");
+}
+
+namespace {
+
+struct place_routing {
+    bool internal = false;
+    std::string producer_module; // empty when the place has no producers
+    std::string consumer_module; // empty when the place has no consumers
+    std::string home_module;     // module whose subnet owns the place
+};
+
+place_routing route_place(const pn::petri_net& net, pn::place_id p)
+{
+    std::set<std::string> producer_modules;
+    for (const pn::transition_weight& producer : net.producers(p)) {
+        producer_modules.insert(
+            to_string(module_of(net.transition_name(producer.transition))));
+    }
+    std::set<std::string> consumer_modules;
+    for (const pn::transition_weight& consumer : net.consumers(p)) {
+        consumer_modules.insert(
+            to_string(module_of(net.transition_name(consumer.transition))));
+    }
+    if (producer_modules.size() > 1 || consumer_modules.size() > 1) {
+        throw model_error("functional_partition: place '" + net.place_name(p) +
+                          "' spans more than two modules");
+    }
+
+    place_routing routing;
+    routing.producer_module =
+        producer_modules.empty() ? "" : *producer_modules.begin();
+    routing.consumer_module =
+        consumer_modules.empty() ? "" : *consumer_modules.begin();
+    if (!routing.producer_module.empty() && !routing.consumer_module.empty() &&
+        routing.producer_module == routing.consumer_module) {
+        routing.internal = true;
+        routing.home_module = routing.producer_module;
+    } else if (routing.producer_module.empty()) {
+        routing.internal = true; // source place: owned by its consumer
+        routing.home_module = routing.consumer_module;
+    } else if (routing.consumer_module.empty()) {
+        routing.internal = true; // sink place: owned by its producer
+        routing.home_module = routing.producer_module;
+    } else {
+        routing.home_module = routing.consumer_module; // cut: lives receiver-side
+    }
+    return routing;
+}
+
+} // namespace
+
+functional_partition build_functional_partition(const pn::petri_net& net)
+{
+    functional_partition result;
+
+    // Route every place; collect the cut channels.
+    std::vector<place_routing> routing(net.place_count());
+    for (pn::place_id p : net.places()) {
+        routing[p.index()] = route_place(net, p);
+        if (!routing[p.index()].internal) {
+            result.channels.push_back({net.place_name(p),
+                                       routing[p.index()].producer_module,
+                                       routing[p.index()].consumer_module});
+        }
+    }
+
+    const module all_modules[] = {module::msd, module::buffer, module::wfq,
+                                  module::cell_extract, module::arbiter_counter};
+    for (module m : all_modules) {
+        const std::string module_name = to_string(m);
+        module_task task;
+        task.name = module_name;
+
+        pn::net_builder builder(net.name() + "_" + module_name);
+        std::vector<pn::place_id> place_map(net.place_count());
+        std::vector<bool> place_in(net.place_count(), false);
+
+        // Places owned by this module (internal or incoming cut).
+        for (pn::place_id p : net.places()) {
+            if (routing[p.index()].home_module != module_name) {
+                continue;
+            }
+            place_in[p.index()] = true;
+            place_map[p.index()] =
+                builder.add_place(net.place_name(p), net.initial_tokens(p));
+        }
+
+        // Module transitions with their intra-module arcs; outgoing cut arcs
+        // are dropped and recorded as message sends.
+        for (pn::transition_id t : net.transitions()) {
+            const std::string& name = net.transition_name(t);
+            if (to_string(module_of(name)) != module_name) {
+                continue;
+            }
+            const pn::transition_id sub_t = builder.add_transition(name);
+            if (net.inputs(t).empty()) {
+                task.external_sources.push_back(name);
+            }
+            for (const pn::place_weight& in : net.inputs(t)) {
+                require_internal(place_in[in.place.index()],
+                                 "functional_partition: consumer without its place");
+                builder.add_arc(place_map[in.place.index()], sub_t, in.weight);
+            }
+            for (const pn::place_weight& out : net.outputs(t)) {
+                if (place_in[out.place.index()]) {
+                    builder.add_arc(sub_t, place_map[out.place.index()], out.weight);
+                } else {
+                    task.sends_of_transition[name].push_back(
+                        {net.place_name(out.place), module_name,
+                         routing[out.place.index()].home_module});
+                }
+            }
+        }
+
+        // Receive sources for incoming cut places: one message = one firing
+        // of the original producer, delivering its arc weight in tokens.
+        for (pn::place_id p : net.places()) {
+            if (!place_in[p.index()] || routing[p.index()].internal) {
+                continue;
+            }
+            const std::string recv_name = "recv_" + net.place_name(p);
+            const pn::transition_id recv = builder.add_transition(recv_name);
+            require_internal(!net.producers(p).empty(),
+                             "functional_partition: cut place without producer");
+            builder.add_arc(recv, place_map[p.index()], net.producers(p).front().weight);
+            task.recv_source_of_place.emplace(net.place_name(p), recv_name);
+        }
+
+        task.subnet = std::move(builder).build();
+        task.schedule = qss::quasi_static_schedule(task.subnet);
+        if (!task.schedule.schedulable) {
+            throw internal_error("functional_partition: module subnet '" + module_name +
+                                 "' is not schedulable: " + task.schedule.diagnosis);
+        }
+        const qss::task_partition groups = qss::partition_tasks(task.subnet, task.schedule);
+        task.program = cgen::generate_program(task.subnet, task.schedule, groups);
+        result.modules.push_back(std::move(task));
+    }
+    return result;
+}
+
+} // namespace fcqss::atm

@@ -1,0 +1,63 @@
+// fcqss — apps/atm/functional_partition.hpp
+// The Table I baseline: "functional task partitioning ... obtained by
+// synthesizing separately one task for each of the five modules shown in
+// figure 8."  Each module becomes its own subnet: places crossing a module
+// boundary are cut — the producer side sends an RTOS message when its
+// transition fires; the consumer side gains a fresh source transition
+// (recv_<place>) that the message activates.  The extra queue traffic and
+// per-message task activations are exactly the overhead Table I charges
+// against this design.
+#ifndef FCQSS_APPS_ATM_FUNCTIONAL_PARTITION_HPP
+#define FCQSS_APPS_ATM_FUNCTIONAL_PARTITION_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "codegen/c_ast.hpp"
+#include "codegen/task_codegen.hpp"
+#include "pn/petri_net.hpp"
+#include "qss/scheduler.hpp"
+
+namespace fcqss::atm {
+
+/// A place cut by the module boundary.
+struct cut_channel {
+    std::string place_name;
+    std::string producer_module;
+    std::string consumer_module;
+};
+
+/// One module turned into a stand-alone task program.
+struct module_task {
+    std::string name;
+    pn::petri_net subnet;
+    qss::qss_result schedule;
+    cgen::generated_program program;
+    /// Transition name (in subnet) of the receive source for each incoming
+    /// cut place name.
+    std::map<std::string, std::string> recv_source_of_place;
+    /// For each module transition name: the cut places it feeds (messages to
+    /// send when it fires).
+    std::map<std::string, std::vector<cut_channel>> sends_of_transition;
+    /// External sources of the original net owned by this module ("Cell").
+    std::vector<std::string> external_sources;
+};
+
+/// The whole functional partitioning of a net.
+struct functional_partition {
+    std::vector<module_task> modules;
+    std::vector<cut_channel> channels;
+
+    [[nodiscard]] const module_task& module_named(const std::string& name) const;
+};
+
+/// Builds the five-module partitioning of the ATM net: assigns transitions
+/// via atm::module_of, cuts crossing places, runs QSS + code generation per
+/// module subnet.  Throws if any module subnet fails to schedule (the
+/// modules are themselves free-choice by construction).
+[[nodiscard]] functional_partition build_functional_partition(const pn::petri_net& net);
+
+} // namespace fcqss::atm
+
+#endif // FCQSS_APPS_ATM_FUNCTIONAL_PARTITION_HPP

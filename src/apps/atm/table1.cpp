@@ -1,0 +1,162 @@
+#include "apps/atm/table1.hpp"
+
+#include <memory>
+
+#include "base/error.hpp"
+#include "base/strings.hpp"
+#include "apps/atm/atm_net.hpp"
+#include "apps/atm/functional_partition.hpp"
+#include "codegen/c_emitter.hpp"
+#include "codegen/task_codegen.hpp"
+#include "qss/scheduler.hpp"
+#include "qss/task_partition.hpp"
+
+namespace fcqss::atm {
+
+namespace {
+
+// Posts the testbench into the simulator: Cell events go to `cell_task`,
+// Tick events to `tick_task`; the payload indexes the cell list.
+void post_events(rtos::rtos_simulator& sim, const std::vector<input_event>& events,
+                 const std::string& cell_task, const std::string& tick_task,
+                 std::vector<atm_cell>& cells)
+{
+    for (const input_event& event : events) {
+        if (event.is_cell) {
+            cells.push_back(event.cell);
+            sim.post_external(event.time, cell_task,
+                              {"Cell", static_cast<std::int64_t>(cells.size() - 1)});
+        } else {
+            sim.post_external(event.time, tick_task, {"Tick", 0});
+        }
+    }
+}
+
+} // namespace
+
+implementation_report run_qss_implementation(const std::vector<input_event>& events,
+                                             int flow_count,
+                                             const rtos::cost_model& costs)
+{
+    const pn::petri_net net = build_atm_net();
+    const qss::qss_result schedule = qss::quasi_static_schedule(net);
+    if (!schedule.schedulable) {
+        throw internal_error("table1: ATM net must be schedulable");
+    }
+    const qss::task_partition partition = qss::partition_tasks(net, schedule);
+    const cgen::generated_program program =
+        cgen::generate_program(net, schedule, partition);
+
+    implementation_report report;
+    report.name = "QSS";
+    report.task_count = static_cast<int>(partition.tasks.size());
+    report.lines_of_c = cgen::emitted_line_count(program);
+
+    auto state = std::make_shared<atm_state>(flow_count);
+    auto instance = std::make_shared<cgen::program_instance>(program);
+    auto cells = std::make_shared<std::vector<atm_cell>>();
+
+    const cgen::choice_oracle oracle = make_choice_oracle(net, *state);
+    const cgen::action_observer apply = make_action_applier(net, *state);
+
+    rtos::rtos_simulator sim(costs);
+    const pn::transition_id cell_source = net.find_transition("Cell");
+    const pn::transition_id tick_source = net.find_transition("Tick");
+    sim.register_task("task_Cell",
+                      [state, instance, cells, oracle, apply, cell_source](
+                          rtos::task_context&, const rtos::message& m) {
+                          state->current_cell = cells->at(static_cast<std::size_t>(m.value));
+                          auto stats = instance->run_source(cell_source, oracle, apply);
+                          state->current_cell.reset();
+                          return stats;
+                      });
+    sim.register_task("task_Tick",
+                      [instance, oracle, apply, tick_source](rtos::task_context&,
+                                                             const rtos::message&) {
+                          return instance->run_source(tick_source, oracle, apply);
+                      });
+
+    post_events(sim, events, "task_Cell", "task_Tick", *cells);
+    report.rtos = sim.run();
+    report.clock_cycles = report.rtos.total_cycles;
+    report.emitted = state->emitted;
+    report.dropped_cells = state->dropped_cells;
+    report.idle_slots = state->idle_slots;
+    return report;
+}
+
+implementation_report run_functional_implementation(const std::vector<input_event>& events,
+                                                    int flow_count,
+                                                    const rtos::cost_model& costs)
+{
+    const pn::petri_net net = build_atm_net();
+    auto partition = std::make_shared<functional_partition>(build_functional_partition(net));
+
+    implementation_report report;
+    report.name = "functional task partitioning";
+    report.task_count = static_cast<int>(partition->modules.size());
+    for (const module_task& m : partition->modules) {
+        report.lines_of_c += cgen::emitted_line_count(m.program);
+    }
+
+    auto state = std::make_shared<atm_state>(flow_count);
+    auto cells = std::make_shared<std::vector<atm_cell>>();
+
+    rtos::rtos_simulator sim(costs);
+    for (const module_task& m : partition->modules) {
+        auto instance = std::make_shared<cgen::program_instance>(m.program);
+        const module_task* module_ptr = &partition->module_named(m.name);
+        const cgen::choice_oracle oracle = make_choice_oracle(module_ptr->subnet, *state);
+
+        sim.register_task(
+            m.name,
+            [state, instance, cells, oracle, module_ptr, partition](
+                rtos::task_context& ctx, const rtos::message& msg) {
+                const pn::petri_net& subnet = module_ptr->subnet;
+
+                // Apply semantics (recv_* markers have none) and relay every
+                // firing that feeds a cut place as a message to its consumer
+                // module.
+                const cgen::action_observer observer = [&](pn::transition_id t) {
+                    const std::string& name = subnet.transition_name(t);
+                    if (!starts_with(name, "recv_")) {
+                        apply_action(name, *state);
+                    }
+                    const auto sends = module_ptr->sends_of_transition.find(name);
+                    if (sends != module_ptr->sends_of_transition.end()) {
+                        for (const cut_channel& channel : sends->second) {
+                            ctx.send(channel.consumer_module, {channel.place_name, 0});
+                        }
+                    }
+                };
+
+                pn::transition_id source;
+                if (msg.topic == "Cell") {
+                    state->current_cell = cells->at(static_cast<std::size_t>(msg.value));
+                    source = subnet.find_transition("Cell");
+                } else if (msg.topic == "Tick") {
+                    source = subnet.find_transition("Tick");
+                } else {
+                    const auto recv = module_ptr->recv_source_of_place.find(msg.topic);
+                    if (recv == module_ptr->recv_source_of_place.end()) {
+                        throw internal_error("table1: message for unknown cut place");
+                    }
+                    source = subnet.find_transition(recv->second);
+                }
+                // current_cell deliberately persists after the MSD fragment:
+                // the BUFFER/WFQ activations for this cell run as later
+                // messages at the same timestamp and read it there.
+                return instance->run_source(source, oracle, observer);
+            });
+    }
+
+    post_events(sim, events, "MSD", "ARBITER_COUNTER", *cells);
+    report.rtos = sim.run();
+    report.clock_cycles = report.rtos.total_cycles;
+    report.emitted = state->emitted;
+    report.dropped_cells = state->dropped_cells;
+    report.idle_slots = state->idle_slots;
+    return report;
+}
+
+} // namespace fcqss::atm

@@ -1,0 +1,49 @@
+// fcqss — apps/atm/table1.hpp
+// The Sec. 5 experiment: run the QSS implementation (2 tasks) and the
+// functional-task-partitioning baseline (5 module tasks) of the ATM server
+// on the same 50-cell testbench, and report Table I's three rows — number
+// of tasks, lines of generated C code, and simulated clock cycles — plus
+// the functional outputs so tests can assert both implementations emit the
+// same cells.
+#ifndef FCQSS_APPS_ATM_TABLE1_HPP
+#define FCQSS_APPS_ATM_TABLE1_HPP
+
+#include <string>
+#include <vector>
+
+#include "apps/atm/atm_semantics.hpp"
+#include "apps/atm/testbench.hpp"
+#include "rtos/rtos_sim.hpp"
+
+namespace fcqss::atm {
+
+/// Table I row for one software implementation.
+struct implementation_report {
+    std::string name;
+    int task_count = 0;
+    int lines_of_c = 0;
+    std::int64_t clock_cycles = 0;
+
+    // Functional outputs (for cross-implementation equivalence checks).
+    std::vector<atm_cell> emitted;
+    std::int64_t dropped_cells = 0;
+    std::int64_t idle_slots = 0;
+
+    rtos::sim_report rtos;
+};
+
+/// Runs the QSS implementation: one program, tasks task_Cell and task_Tick,
+/// no inter-task queues.
+[[nodiscard]] implementation_report
+run_qss_implementation(const std::vector<input_event>& events, int flow_count,
+                       const rtos::cost_model& costs = {});
+
+/// Runs the functional baseline: five module tasks chained by messages over
+/// the cut places.
+[[nodiscard]] implementation_report
+run_functional_implementation(const std::vector<input_event>& events, int flow_count,
+                              const rtos::cost_model& costs = {});
+
+} // namespace fcqss::atm
+
+#endif // FCQSS_APPS_ATM_TABLE1_HPP

@@ -1,0 +1,110 @@
+#include "apps/atm/testbench.hpp"
+
+#include <algorithm>
+
+#include "base/error.hpp"
+
+namespace fcqss::atm {
+
+namespace {
+
+// Small deterministic PRNG (xorshift*) so the testbench is reproducible
+// across platforms without <random> distribution differences.
+class prng {
+public:
+    explicit prng(std::uint64_t seed) : state_(seed == 0 ? 0x9e3779b97f4a7c15ULL : seed) {}
+
+    std::uint64_t next()
+    {
+        state_ ^= state_ >> 12;
+        state_ ^= state_ << 25;
+        state_ ^= state_ >> 27;
+        return state_ * 0x2545f4914f6cdd1dULL;
+    }
+
+    /// Uniform in [0, bound).
+    std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+
+private:
+    std::uint64_t state_;
+};
+
+} // namespace
+
+std::vector<input_event> make_testbench(const testbench_options& options)
+{
+    if (options.cell_count <= 0 || options.flow_count <= 0 ||
+        options.tick_period <= 0 || options.mean_cell_gap < 2) {
+        throw model_error("make_testbench: options must be positive (mean gap >= 2)");
+    }
+    if (options.tick_period % 2 != 0) {
+        throw model_error("make_testbench: tick_period must be even so ticks and "
+                          "cells never collide");
+    }
+    prng rng(options.seed);
+
+    // Per-VC message progress so each VC emits well-formed SOM/COM*/EOM runs.
+    struct message_progress {
+        int remaining = 0; // cells left in the current message (0 = none open)
+    };
+    std::vector<message_progress> progress(static_cast<std::size_t>(options.flow_count));
+
+    std::vector<input_event> events;
+    std::int64_t time = 1;
+    for (int i = 0; i < options.cell_count; ++i) {
+        // Irregular arrival: even-sized gap around the mean.  Starting from
+        // the odd t=1, cells always land on odd instants while the periodic
+        // ticks land on even ones, so no cell ever ties with a tick and the
+        // event order is identical for every implementation.
+        time += 2 * (1 + static_cast<std::int64_t>(rng.below(
+                             static_cast<std::uint64_t>(options.mean_cell_gap - 1))));
+
+        // Pick a VC, preferring one with an open message so messages finish.
+        int vc = static_cast<int>(rng.below(static_cast<std::uint64_t>(options.flow_count)));
+        for (int probe = 0; probe < options.flow_count; ++probe) {
+            const int candidate = (vc + probe) % options.flow_count;
+            if (progress[static_cast<std::size_t>(candidate)].remaining > 0 ||
+                probe == options.flow_count - 1) {
+                vc = candidate;
+                break;
+            }
+            if (rng.below(2) == 0) {
+                vc = candidate;
+                break;
+            }
+        }
+
+        message_progress& msg = progress[static_cast<std::size_t>(vc)];
+        atm_cell cell;
+        cell.id = i;
+        cell.vc = vc;
+        cell.clp = rng.below(5) == 0; // ~20% low-priority cells
+        if (msg.remaining == 0) {
+            msg.remaining = 2 + static_cast<int>(rng.below(6)); // message of 2-7 cells
+            cell.kind = cell_kind::start_of_message;
+        } else if (msg.remaining == 1) {
+            cell.kind = cell_kind::end_of_message;
+        } else {
+            cell.kind = cell_kind::continuation;
+        }
+        msg.remaining -= 1;
+
+        events.push_back({time, /*is_cell=*/true, cell});
+    }
+
+    // Ticks: periodic from t=0 until well past the last cell so the buffer
+    // drains (each slot needs ticks_per_slot ticks; be generous).
+    const std::int64_t horizon =
+        time + options.tick_period * (4 * options.cell_count + 16);
+    for (std::int64_t t = 0; t <= horizon; t += options.tick_period) {
+        events.push_back({t, /*is_cell=*/false, {}});
+    }
+
+    std::stable_sort(events.begin(), events.end(),
+                     [](const input_event& a, const input_event& b) {
+                         return a.time < b.time;
+                     });
+    return events;
+}
+
+} // namespace fcqss::atm

@@ -1,0 +1,37 @@
+// fcqss — apps/atm/testbench.hpp
+// The Sec. 5 workload: "a testbench of 50 ATM cells".  Cells form messages
+// of 2-7 cells over a small set of VCs, arrive at irregular (seeded
+// pseudo-random) times, and interleave with a strictly periodic Tick — the
+// two inputs with independent firing rates that define the task split.
+#ifndef FCQSS_APPS_ATM_TESTBENCH_HPP
+#define FCQSS_APPS_ATM_TESTBENCH_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/atm/atm_semantics.hpp"
+
+namespace fcqss::atm {
+
+/// One scheduled input event.
+struct input_event {
+    std::int64_t time = 0;
+    bool is_cell = false;  // false = Tick
+    atm_cell cell;         // valid when is_cell
+};
+
+struct testbench_options {
+    int cell_count = 50;     // the paper's testbench size
+    int flow_count = 4;      // VCs
+    std::uint64_t seed = 1999; // DAC'99
+    std::int64_t tick_period = 12;
+    std::int64_t mean_cell_gap = 9; // irregular arrivals around this spacing
+};
+
+/// Deterministic (seeded) event trace: `cell_count` cells plus enough ticks
+/// to drain the buffer afterwards, merged in time order.
+[[nodiscard]] std::vector<input_event> make_testbench(const testbench_options& options = {});
+
+} // namespace fcqss::atm
+
+#endif // FCQSS_APPS_ATM_TESTBENCH_HPP

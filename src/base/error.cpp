@@ -1,0 +1,27 @@
+#include "base/error.hpp"
+
+namespace fcqss {
+
+namespace {
+
+std::string format_location(const std::string& what_arg, int line, int column)
+{
+    return what_arg + " (line " + std::to_string(line) + ", column " +
+           std::to_string(column) + ")";
+}
+
+} // namespace
+
+parse_error::parse_error(const std::string& what_arg, int line, int column)
+    : error(format_location(what_arg, line, column)), line_(line), column_(column)
+{
+}
+
+void require_internal(bool condition, const char* message)
+{
+    if (!condition) {
+        throw internal_error(message);
+    }
+}
+
+} // namespace fcqss

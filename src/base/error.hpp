@@ -1,0 +1,64 @@
+// fcqss — base/error.hpp
+// Exception hierarchy shared by every fcqss module.
+#ifndef FCQSS_BASE_ERROR_HPP
+#define FCQSS_BASE_ERROR_HPP
+
+#include <stdexcept>
+#include <string>
+
+namespace fcqss {
+
+/// Root of the fcqss exception hierarchy.  All library errors derive from
+/// this, so callers can catch one type at an API boundary.
+class error : public std::runtime_error {
+public:
+    explicit error(const std::string& what_arg) : std::runtime_error(what_arg) {}
+};
+
+/// A malformed model: dangling references, duplicate names, negative weights,
+/// indices out of range and similar structural problems.
+class model_error : public error {
+public:
+    explicit model_error(const std::string& what_arg) : error(what_arg) {}
+};
+
+/// Exact integer arithmetic left the representable range.  Raised instead of
+/// silently wrapping, so analysis verdicts are never corrupted by overflow.
+class arith_overflow_error : public error {
+public:
+    explicit arith_overflow_error(const std::string& what_arg) : error(what_arg) {}
+};
+
+/// Errors raised while parsing the `.pn` textual net format.
+class parse_error : public error {
+public:
+    parse_error(const std::string& what_arg, int line, int column);
+
+    [[nodiscard]] int line() const noexcept { return line_; }
+    [[nodiscard]] int column() const noexcept { return column_; }
+
+private:
+    int line_;
+    int column_;
+};
+
+/// A request that is well-formed but outside the algorithm's domain, e.g.
+/// asking the QSS scheduler for a schedule of a net that is not free-choice.
+class domain_error : public error {
+public:
+    explicit domain_error(const std::string& what_arg) : error(what_arg) {}
+};
+
+/// Internal invariant violation; indicates a bug in fcqss itself.
+class internal_error : public error {
+public:
+    explicit internal_error(const std::string& what_arg) : error(what_arg) {}
+};
+
+/// Throws internal_error when `condition` is false.  Used for invariants that
+/// must hold regardless of user input (never for input validation).
+void require_internal(bool condition, const char* message);
+
+} // namespace fcqss
+
+#endif // FCQSS_BASE_ERROR_HPP

@@ -1,0 +1,54 @@
+// fcqss — base/ids.hpp
+// Strongly typed indices for places and transitions.  A plain `int` invites
+// mixing the two index spaces; these wrappers make that a compile error while
+// staying trivially copyable and cheap.
+#ifndef FCQSS_BASE_IDS_HPP
+#define FCQSS_BASE_IDS_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace fcqss {
+
+/// Tagged index.  `Tag` is an empty struct that distinguishes index spaces.
+template <typename Tag>
+class typed_index {
+public:
+    constexpr typed_index() noexcept : value_(invalid_value) {}
+    constexpr explicit typed_index(std::int32_t value) noexcept : value_(value) {}
+
+    [[nodiscard]] constexpr std::int32_t value() const noexcept { return value_; }
+    [[nodiscard]] constexpr std::size_t index() const noexcept
+    {
+        return static_cast<std::size_t>(value_);
+    }
+    [[nodiscard]] constexpr bool valid() const noexcept { return value_ >= 0; }
+
+    friend constexpr bool operator==(typed_index a, typed_index b) noexcept = default;
+    friend constexpr auto operator<=>(typed_index a, typed_index b) noexcept = default;
+
+private:
+    static constexpr std::int32_t invalid_value = -1;
+    std::int32_t value_;
+};
+
+struct place_tag {};
+struct transition_tag {};
+
+/// Index of a place within a petri_net.
+using place_id = typed_index<place_tag>;
+/// Index of a transition within a petri_net.
+using transition_id = typed_index<transition_tag>;
+
+} // namespace fcqss
+
+template <typename Tag>
+struct std::hash<fcqss::typed_index<Tag>> {
+    std::size_t operator()(fcqss::typed_index<Tag> id) const noexcept
+    {
+        return std::hash<std::int32_t>{}(id.value());
+    }
+};
+
+#endif // FCQSS_BASE_IDS_HPP

@@ -1,0 +1,111 @@
+#include "base/strings.hpp"
+
+#include <cctype>
+
+namespace fcqss {
+
+std::string join(const std::vector<std::string>& parts, std::string_view separator)
+{
+    std::string result;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i != 0) {
+            result += separator;
+        }
+        result += parts[i];
+    }
+    return result;
+}
+
+std::vector<std::string> split(std::string_view text, char separator)
+{
+    std::vector<std::string> fields;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t pos = text.find(separator, start);
+        if (pos == std::string_view::npos) {
+            fields.emplace_back(text.substr(start));
+            return fields;
+        }
+        fields.emplace_back(text.substr(start, pos - start));
+        start = pos + 1;
+    }
+}
+
+std::string_view trim(std::string_view text)
+{
+    std::size_t begin = 0;
+    std::size_t end = text.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(text[begin])) != 0) {
+        ++begin;
+    }
+    while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1])) != 0) {
+        --end;
+    }
+    return text.substr(begin, end - begin);
+}
+
+bool starts_with(std::string_view text, std::string_view prefix)
+{
+    return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+bool is_c_identifier(std::string_view name)
+{
+    if (name.empty()) {
+        return false;
+    }
+    const auto is_ident_start = [](char c) {
+        return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+    };
+    const auto is_ident_char = [&](char c) {
+        return is_ident_start(c) || std::isdigit(static_cast<unsigned char>(c)) != 0;
+    };
+    if (!is_ident_start(name.front())) {
+        return false;
+    }
+    for (char c : name.substr(1)) {
+        if (!is_ident_char(c)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::string sanitize_c_identifier(std::string_view name)
+{
+    if (name.empty()) {
+        return "_";
+    }
+    std::string result;
+    result.reserve(name.size() + 1);
+    if (std::isdigit(static_cast<unsigned char>(name.front())) != 0) {
+        result.push_back('_');
+    }
+    for (char c : name) {
+        const bool legal = std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+        result.push_back(legal ? c : '_');
+    }
+    return result;
+}
+
+int count_nonblank_lines(std::string_view text)
+{
+    int count = 0;
+    bool line_has_content = false;
+    for (char c : text) {
+        if (c == '\n') {
+            if (line_has_content) {
+                ++count;
+            }
+            line_has_content = false;
+        } else if (std::isspace(static_cast<unsigned char>(c)) == 0) {
+            line_has_content = true;
+        }
+    }
+    if (line_has_content) {
+        ++count;
+    }
+    return count;
+}
+
+} // namespace fcqss

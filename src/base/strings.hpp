@@ -1,0 +1,40 @@
+// fcqss — base/strings.hpp
+// Small string helpers shared by the text back ends (pnio writer, DOT export,
+// C emitter) and by diagnostics.
+#ifndef FCQSS_BASE_STRINGS_HPP
+#define FCQSS_BASE_STRINGS_HPP
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fcqss {
+
+/// Joins `parts` with `separator` ("a", "b" -> "a, b").
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view separator);
+
+/// Splits `text` at every occurrence of `separator`; keeps empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char separator);
+
+/// Removes leading and trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view text);
+
+/// True when `text` starts with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix);
+
+/// True when `name` is a valid C identifier ([A-Za-z_][A-Za-z0-9_]*).
+[[nodiscard]] bool is_c_identifier(std::string_view name);
+
+/// Rewrites an arbitrary name into a valid C identifier by replacing every
+/// illegal character with '_' and prefixing '_' when the first character is
+/// a digit.  Empty input becomes "_".
+[[nodiscard]] std::string sanitize_c_identifier(std::string_view name);
+
+/// Counts lines in `text` that contain at least one non-whitespace character.
+/// Used to report "lines of C code" the way the paper's Table I does.
+[[nodiscard]] int count_nonblank_lines(std::string_view text);
+
+} // namespace fcqss
+
+#endif // FCQSS_BASE_STRINGS_HPP

@@ -1,0 +1,72 @@
+// fcqss — baselines/lin_synthesis.hpp
+// The comparison baseline from the paper's Sec. 1: B. Lin's software
+// synthesis from process-based specifications (DAC'98) via an intermediate
+// SAFE Petri net.  "This approach is based on the strong assumption that the
+// Petri Net is safe, i.e. buffers can store at most one data unit...  it
+// makes impossible to handle multirate specifications, like FFT computations
+// and downsampling.  Moreover, safeness excludes the possibility to use
+// source and sink transitions."
+//
+// This module implements the essence of that method — unfold the (finite,
+// because safe) reachability graph into a state-machine program — so the
+// paper's applicability comparison can be demonstrated concretely:
+//   * safe nets synthesize (but the code grows with the state count),
+//   * multirate nets (Fig. 2, Fig. 4) are rejected as not safe,
+//   * nets with source transitions (every reactive spec) are rejected.
+#ifndef FCQSS_BASELINES_LIN_SYNTHESIS_HPP
+#define FCQSS_BASELINES_LIN_SYNTHESIS_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pn/petri_net.hpp"
+
+namespace fcqss::baselines {
+
+/// Why Lin-style synthesis rejected the input.
+enum class lin_failure {
+    none,
+    /// The net has source transitions (unbounded environment input): outside
+    /// the method's model.
+    has_source_transitions,
+    /// Not 1-bounded: some reachable marking puts 2+ tokens in a place —
+    /// the multirate case the paper highlights.
+    not_safe,
+    /// The state space hit the exploration budget.
+    state_space_too_large,
+};
+
+[[nodiscard]] std::string to_string(lin_failure f);
+
+/// One state of the synthesized machine.
+struct lin_state {
+    /// (transition fired, successor state) — 0 or 1 entries means straight-
+    /// line code; more means a run-time branch.
+    std::vector<std::pair<pn::transition_id, std::size_t>> successors;
+};
+
+/// The synthesized state machine.
+struct lin_program {
+    lin_failure failure = lin_failure::none;
+    std::vector<lin_state> states;
+
+    [[nodiscard]] bool ok() const noexcept { return failure == lin_failure::none; }
+    /// Code-size proxy: one dispatch per state plus one statement per edge.
+    [[nodiscard]] std::size_t code_size() const;
+};
+
+struct lin_options {
+    std::size_t max_states = 100000;
+};
+
+/// Runs the baseline synthesis.
+[[nodiscard]] lin_program lin_synthesize(const pn::petri_net& net,
+                                         const lin_options& options = {});
+
+/// Renders the machine as C (switch over the state variable).
+[[nodiscard]] std::string emit_lin_c(const pn::petri_net& net, const lin_program& program);
+
+} // namespace fcqss::baselines
+
+#endif // FCQSS_BASELINES_LIN_SYNTHESIS_HPP

@@ -1,0 +1,35 @@
+// fcqss — codegen/c_emitter.hpp
+// Renders a generated_program as a compilable, self-contained C99 translation
+// unit.  The synthesized tasks call two families of extern hooks the
+// integrator supplies: `void action_<t>(void)` (the computation bound to a
+// transition) and `int choice_<p>(void)` (the data-dependent control
+// resolution, returning the branch index).  Pass `emit_default_hooks` to get
+// weak trace-printing defaults so the file compiles and runs stand-alone.
+#ifndef FCQSS_CODEGEN_C_EMITTER_HPP
+#define FCQSS_CODEGEN_C_EMITTER_HPP
+
+#include <string>
+
+#include "codegen/c_ast.hpp"
+
+namespace fcqss::cgen {
+
+struct emitter_options {
+    /// Also emit default hook implementations (printf tracing, round-robin
+    /// choices) plus a main() that runs each task fragment `demo_rounds`
+    /// times — makes the generated file runnable with just `cc file.c`.
+    bool emit_default_hooks = false;
+    int demo_rounds = 3;
+};
+
+/// Emits the complete C source.
+[[nodiscard]] std::string emit_c(const generated_program& program,
+                                 const emitter_options& options = {});
+
+/// Non-blank source lines of emit_c(program) — the paper's Table I metric.
+[[nodiscard]] int emitted_line_count(const generated_program& program,
+                                     const emitter_options& options = {});
+
+} // namespace fcqss::cgen
+
+#endif // FCQSS_CODEGEN_C_EMITTER_HPP

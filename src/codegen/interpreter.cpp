@@ -1,0 +1,230 @@
+#include "codegen/interpreter.hpp"
+
+#include <algorithm>
+
+#include "base/error.hpp"
+
+namespace fcqss::cgen {
+
+program_instance::program_instance(const generated_program& program)
+{
+    // Counter storage spans the whole place index space; undeclared
+    // (elided) counters stay at zero and are never touched.
+    std::size_t max_place = program.choice_names.size();
+    for (const counter_decl& counter : program.counters) {
+        max_place = std::max(max_place, counter.place.index() + 1);
+    }
+    initial_counters_.assign(max_place, 0);
+    for (const counter_decl& counter : program.counters) {
+        initial_counters_[counter.place.index()] = counter.initial;
+    }
+    counters_ = initial_counters_;
+
+    for (const task_code& task : program.tasks) {
+        for (const fragment& f : task.fragments) {
+            compiled_fragment compiled;
+            compiled.source = f.source;
+            std::unordered_map<std::string, std::size_t> labels;
+            std::vector<std::pair<std::size_t, std::string>> pending_gotos;
+            compile_block(f.body, compiled.code, labels, pending_gotos);
+            instruction halt;
+            halt.code = instruction::op::halt;
+            compiled.code.push_back(halt);
+            for (const auto& [index, label] : pending_gotos) {
+                const auto it = labels.find(label);
+                if (it == labels.end()) {
+                    throw internal_error("interpreter: goto to unknown label");
+                }
+                compiled.code[index].target = it->second;
+            }
+            fragment_order_.push_back(f.function_name);
+            fragment_of_source_.emplace(f.source.value(), f.function_name);
+            fragments_.emplace(f.function_name, std::move(compiled));
+        }
+    }
+}
+
+void program_instance::compile_block(
+    const block& b, std::vector<instruction>& code,
+    std::unordered_map<std::string, std::size_t>& labels,
+    std::vector<std::pair<std::size_t, std::string>>& pending_gotos)
+{
+    for (const stmt& s : b) {
+        switch (s.k) {
+        case stmt::kind::action: {
+            instruction ins;
+            ins.code = instruction::op::action;
+            ins.action_target = s.action_target;
+            code.push_back(ins);
+            break;
+        }
+        case stmt::kind::counter_add: {
+            instruction ins;
+            ins.code = instruction::op::add;
+            ins.counter = s.counter;
+            ins.delta = s.delta;
+            code.push_back(ins);
+            break;
+        }
+        case stmt::kind::if_guard: {
+            instruction ins;
+            ins.code = instruction::op::branch_if_not;
+            ins.g = s.g;
+            const std::size_t branch_at = code.size();
+            code.push_back(ins);
+            compile_block(s.body, code, labels, pending_gotos);
+            code[branch_at].target = code.size();
+            break;
+        }
+        case stmt::kind::while_guard: {
+            const std::size_t head = code.size();
+            instruction ins;
+            ins.code = instruction::op::branch_if_not;
+            ins.g = s.g;
+            const std::size_t branch_at = code.size();
+            code.push_back(ins);
+            compile_block(s.body, code, labels, pending_gotos);
+            instruction back;
+            back.code = instruction::op::jump;
+            back.target = head;
+            code.push_back(back);
+            code[branch_at].target = code.size();
+            break;
+        }
+        case stmt::kind::choice: {
+            instruction ins;
+            ins.code = instruction::op::choice;
+            ins.choice_place = s.choice_place;
+            const std::size_t choice_at = code.size();
+            code.push_back(ins);
+            std::vector<std::size_t> branch_starts;
+            std::vector<std::size_t> exits;
+            for (const block& branch : s.branches) {
+                branch_starts.push_back(code.size());
+                compile_block(branch, code, labels, pending_gotos);
+                instruction done;
+                done.code = instruction::op::jump;
+                exits.push_back(code.size());
+                code.push_back(done);
+            }
+            for (std::size_t exit : exits) {
+                code[exit].target = code.size();
+            }
+            code[choice_at].table = std::move(branch_starts);
+            break;
+        }
+        case stmt::kind::goto_label: {
+            instruction ins;
+            ins.code = instruction::op::jump;
+            pending_gotos.emplace_back(code.size(), s.text);
+            code.push_back(ins);
+            break;
+        }
+        case stmt::kind::label:
+            labels.emplace(s.text, code.size());
+            break;
+        case stmt::kind::comment:
+            break;
+        }
+    }
+}
+
+bool program_instance::evaluate(const guard& g) const
+{
+    for (const counter_test& test : g.tests) {
+        if (counters_[test.place.index()] < test.at_least) {
+            return false;
+        }
+    }
+    return true;
+}
+
+run_stats program_instance::run_fragment(const std::string& function_name,
+                                         const choice_oracle& choices,
+                                         const action_observer& on_action)
+{
+    const auto it = fragments_.find(function_name);
+    if (it == fragments_.end()) {
+        throw error("interpreter: unknown fragment '" + function_name + "'");
+    }
+    const std::vector<instruction>& code = it->second.code;
+    run_stats stats;
+    std::size_t pc = 0;
+    while (true) {
+        if (++stats.instructions > step_limit_) {
+            throw error("interpreter: step limit exceeded in '" + function_name +
+                        "' (runaway loop)");
+        }
+        const instruction& ins = code[pc];
+        switch (ins.code) {
+        case instruction::op::action:
+            ++stats.actions;
+            if (on_action) {
+                on_action(ins.action_target);
+            }
+            ++pc;
+            break;
+        case instruction::op::add: {
+            ++stats.counter_updates;
+            std::int64_t& value = counters_[ins.counter.index()];
+            value += ins.delta;
+            require_internal(value >= 0, "interpreter: counter went negative");
+            ++pc;
+            break;
+        }
+        case instruction::op::branch_if_not:
+            ++stats.guard_evaluations;
+            pc = evaluate(ins.g) ? pc + 1 : ins.target;
+            break;
+        case instruction::op::jump:
+            pc = ins.target;
+            break;
+        case instruction::op::choice: {
+            ++stats.choice_queries;
+            if (!choices) {
+                throw error("interpreter: program queries choices but no oracle given");
+            }
+            const int branch = choices(ins.choice_place);
+            if (branch < 0 || static_cast<std::size_t>(branch) >= ins.table.size()) {
+                throw error("interpreter: choice oracle returned out-of-range branch " +
+                            std::to_string(branch));
+            }
+            pc = ins.table[static_cast<std::size_t>(branch)];
+            break;
+        }
+        case instruction::op::halt:
+            return stats;
+        }
+    }
+}
+
+run_stats program_instance::run_source(pn::transition_id source,
+                                       const choice_oracle& choices,
+                                       const action_observer& on_action)
+{
+    const auto it = fragment_of_source_.find(source.value());
+    if (it == fragment_of_source_.end()) {
+        throw error("interpreter: no fragment for the given source transition");
+    }
+    return run_fragment(it->second, choices, on_action);
+}
+
+std::int64_t program_instance::counter(pn::place_id p) const
+{
+    if (!p.valid() || p.index() >= counters_.size()) {
+        return 0;
+    }
+    return counters_[p.index()];
+}
+
+void program_instance::reset()
+{
+    counters_ = initial_counters_;
+}
+
+std::vector<std::string> program_instance::fragment_names() const
+{
+    return fragment_order_;
+}
+
+} // namespace fcqss::cgen

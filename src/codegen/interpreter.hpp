@@ -1,0 +1,107 @@
+// fcqss — codegen/interpreter.hpp
+// Executes generated programs in-process.  The AST is flattened to a small
+// instruction list (so goto has exact C semantics) and run against pluggable
+// choice resolution.  Tests use this to cross-validate the synthesized code
+// against direct Petri-net simulation without invoking a C compiler, and the
+// RTOS simulator uses it as the body of each task.
+#ifndef FCQSS_CODEGEN_INTERPRETER_HPP
+#define FCQSS_CODEGEN_INTERPRETER_HPP
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "codegen/c_ast.hpp"
+
+namespace fcqss::cgen {
+
+/// Resolves a data-dependent choice: given the choice place, return the
+/// branch index (into the cluster's ascending alternative list).
+using choice_oracle = std::function<int(pn::place_id)>;
+
+/// Observes every executed action (transition firing), in order.
+using action_observer = std::function<void(pn::transition_id)>;
+
+/// Execution statistics for one fragment run.
+struct run_stats {
+    std::int64_t actions = 0;
+    std::int64_t counter_updates = 0;
+    std::int64_t guard_evaluations = 0;
+    std::int64_t choice_queries = 0;
+    std::int64_t instructions = 0;
+};
+
+/// A program instance with live counter state.
+class program_instance {
+public:
+    /// Compiles all fragments of `program`; counters start at their declared
+    /// initial values.
+    explicit program_instance(const generated_program& program);
+
+    /// Runs one activation of the fragment `function_name` (e.g.
+    /// "task_Cell_on_Cell").  Throws fcqss::error on unknown names or when
+    /// the step budget is exhausted (runaway loop protection).
+    run_stats run_fragment(const std::string& function_name, const choice_oracle& choices,
+                           const action_observer& on_action = {});
+
+    /// Runs the fragment for the given source transition.
+    run_stats run_source(pn::transition_id source, const choice_oracle& choices,
+                         const action_observer& on_action = {});
+
+    /// Current value of a place's counter (0 when the counter was elided).
+    [[nodiscard]] std::int64_t counter(pn::place_id p) const;
+
+    /// Resets all counters to their declared initial values.
+    void reset();
+
+    /// Names of all fragments, in task order.
+    [[nodiscard]] std::vector<std::string> fragment_names() const;
+
+    /// Step budget per activation (default generous; raise for stress runs).
+    void set_step_limit(std::int64_t limit) { step_limit_ = limit; }
+
+private:
+    // Flattened instruction forms.
+    struct instruction {
+        enum class op {
+            action,      // fire transition
+            add,         // counter += delta
+            branch_if_not, // guard false -> jump to target
+            jump,        // unconditional jump
+            choice,      // query oracle; jump via table
+            halt,
+        };
+        op code = op::halt;
+        pn::transition_id action_target;
+        pn::place_id counter;
+        std::int64_t delta = 0;
+        guard g;
+        std::size_t target = 0;
+        pn::place_id choice_place;
+        std::vector<std::size_t> table; // choice: branch entry points
+    };
+
+    struct compiled_fragment {
+        pn::transition_id source;
+        std::vector<instruction> code;
+    };
+
+    void compile_block(const block& b, std::vector<instruction>& code,
+                       std::unordered_map<std::string, std::size_t>& labels,
+                       std::vector<std::pair<std::size_t, std::string>>& pending_gotos);
+
+    [[nodiscard]] bool evaluate(const guard& g) const;
+
+    std::unordered_map<std::string, compiled_fragment> fragments_;
+    std::vector<std::string> fragment_order_;
+    std::unordered_map<std::int32_t, std::string> fragment_of_source_;
+    std::vector<std::int64_t> counters_;         // by place index
+    std::vector<std::int64_t> initial_counters_; // by place index
+    std::int64_t step_limit_ = 1 << 22;
+};
+
+} // namespace fcqss::cgen
+
+#endif // FCQSS_CODEGEN_INTERPRETER_HPP

@@ -1,0 +1,56 @@
+#include "graph/digraph.hpp"
+
+#include "base/error.hpp"
+
+namespace fcqss::graph {
+
+digraph::digraph(std::size_t vertex_count)
+    : successors_(vertex_count), predecessors_(vertex_count)
+{
+}
+
+std::size_t digraph::add_vertex()
+{
+    successors_.emplace_back();
+    predecessors_.emplace_back();
+    return successors_.size() - 1;
+}
+
+void digraph::add_edge(std::size_t from, std::size_t to)
+{
+    if (from >= size() || to >= size()) {
+        throw model_error("digraph::add_edge: vertex index out of range");
+    }
+    successors_[from].push_back(to);
+    predecessors_[to].push_back(from);
+    ++edge_count_;
+}
+
+const std::vector<std::size_t>& digraph::successors(std::size_t v) const
+{
+    if (v >= size()) {
+        throw model_error("digraph::successors: vertex index out of range");
+    }
+    return successors_[v];
+}
+
+const std::vector<std::size_t>& digraph::predecessors(std::size_t v) const
+{
+    if (v >= size()) {
+        throw model_error("digraph::predecessors: vertex index out of range");
+    }
+    return predecessors_[v];
+}
+
+digraph digraph::reversed() const
+{
+    digraph result(size());
+    for (std::size_t v = 0; v < size(); ++v) {
+        for (std::size_t w : successors_[v]) {
+            result.add_edge(w, v);
+        }
+    }
+    return result;
+}
+
+} // namespace fcqss::graph

@@ -1,0 +1,47 @@
+// fcqss — graph/digraph.hpp
+// A minimal directed-graph container with adjacency lists in both directions.
+// The Petri-net structural analyses (connectedness, SCCs, path queries) run on
+// this representation rather than on the net itself, keeping graph algorithms
+// independent of P/T semantics.
+#ifndef FCQSS_GRAPH_DIGRAPH_HPP
+#define FCQSS_GRAPH_DIGRAPH_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace fcqss::graph {
+
+/// Directed graph over vertices 0..n-1.  Parallel edges are permitted; the
+/// algorithms in this module treat them as a single adjacency.
+class digraph {
+public:
+    digraph() = default;
+    explicit digraph(std::size_t vertex_count);
+
+    /// Number of vertices.
+    [[nodiscard]] std::size_t size() const noexcept { return successors_.size(); }
+
+    /// Number of edges (counting duplicates).
+    [[nodiscard]] std::size_t edge_count() const noexcept { return edge_count_; }
+
+    /// Appends a fresh vertex and returns its index.
+    std::size_t add_vertex();
+
+    /// Adds the edge from -> to.  Both endpoints must already exist.
+    void add_edge(std::size_t from, std::size_t to);
+
+    [[nodiscard]] const std::vector<std::size_t>& successors(std::size_t v) const;
+    [[nodiscard]] const std::vector<std::size_t>& predecessors(std::size_t v) const;
+
+    /// The same graph with every edge direction flipped.
+    [[nodiscard]] digraph reversed() const;
+
+private:
+    std::vector<std::vector<std::size_t>> successors_;
+    std::vector<std::vector<std::size_t>> predecessors_;
+    std::size_t edge_count_ = 0;
+};
+
+} // namespace fcqss::graph
+
+#endif // FCQSS_GRAPH_DIGRAPH_HPP

@@ -1,0 +1,92 @@
+#include "graph/scc.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace fcqss::graph {
+
+namespace {
+
+constexpr std::size_t undefined = std::numeric_limits<std::size_t>::max();
+
+// One frame of the simulated DFS recursion.
+struct frame {
+    std::size_t vertex;
+    std::size_t next_successor;
+};
+
+} // namespace
+
+scc_result strongly_connected_components(const digraph& g)
+{
+    const std::size_t n = g.size();
+    scc_result result;
+    result.component.assign(n, undefined);
+
+    std::vector<std::size_t> index(n, undefined);
+    std::vector<std::size_t> lowlink(n, undefined);
+    std::vector<bool> on_stack(n, false);
+    std::vector<std::size_t> stack;
+    std::vector<frame> call_stack;
+    std::size_t next_index = 0;
+
+    for (std::size_t root = 0; root < n; ++root) {
+        if (index[root] != undefined) {
+            continue;
+        }
+        call_stack.push_back({root, 0});
+        index[root] = lowlink[root] = next_index++;
+        stack.push_back(root);
+        on_stack[root] = true;
+
+        while (!call_stack.empty()) {
+            frame& top = call_stack.back();
+            const std::size_t v = top.vertex;
+            const auto& succ = g.successors(v);
+            if (top.next_successor < succ.size()) {
+                const std::size_t w = succ[top.next_successor++];
+                if (index[w] == undefined) {
+                    index[w] = lowlink[w] = next_index++;
+                    stack.push_back(w);
+                    on_stack[w] = true;
+                    call_stack.push_back({w, 0});
+                } else if (on_stack[w]) {
+                    lowlink[v] = std::min(lowlink[v], index[w]);
+                }
+                continue;
+            }
+            // All successors explored: close the vertex.
+            if (lowlink[v] == index[v]) {
+                std::vector<std::size_t> members;
+                while (true) {
+                    const std::size_t w = stack.back();
+                    stack.pop_back();
+                    on_stack[w] = false;
+                    result.component[w] = result.members.size();
+                    members.push_back(w);
+                    if (w == v) {
+                        break;
+                    }
+                }
+                std::sort(members.begin(), members.end());
+                result.members.push_back(std::move(members));
+            }
+            call_stack.pop_back();
+            if (!call_stack.empty()) {
+                const std::size_t parent = call_stack.back().vertex;
+                lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+            }
+        }
+    }
+    return result;
+}
+
+bool is_strongly_connected(const digraph& g)
+{
+    if (g.size() == 0) {
+        return false;
+    }
+    return strongly_connected_components(g).component_count() == 1;
+}
+
+} // namespace fcqss::graph

@@ -1,0 +1,34 @@
+// fcqss — graph/scc.hpp
+// Tarjan strongly-connected-components decomposition.  Used to decide strong
+// connectedness of Petri nets and to find cyclic fragments during
+// schedulability diagnostics.
+#ifndef FCQSS_GRAPH_SCC_HPP
+#define FCQSS_GRAPH_SCC_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace fcqss::graph {
+
+/// Result of an SCC decomposition.
+struct scc_result {
+    /// component[v] is the SCC index of vertex v; components are numbered in
+    /// reverse topological order of the condensation (Tarjan's natural order).
+    std::vector<std::size_t> component;
+    /// members[c] lists the vertices of component c in ascending order.
+    std::vector<std::vector<std::size_t>> members;
+
+    [[nodiscard]] std::size_t component_count() const noexcept { return members.size(); }
+};
+
+/// Computes the strongly connected components of `g` (iterative Tarjan).
+[[nodiscard]] scc_result strongly_connected_components(const digraph& g);
+
+/// True when the whole graph is one SCC (and non-empty).
+[[nodiscard]] bool is_strongly_connected(const digraph& g);
+
+} // namespace fcqss::graph
+
+#endif // FCQSS_GRAPH_SCC_HPP

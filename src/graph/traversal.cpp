@@ -1,0 +1,104 @@
+#include "graph/traversal.hpp"
+
+#include <algorithm>
+
+namespace fcqss::graph {
+
+std::vector<bool> reachable_from(const digraph& g, std::size_t start)
+{
+    return reachable_from_any(g, {start});
+}
+
+std::vector<bool> reachable_from_any(const digraph& g,
+                                     const std::vector<std::size_t>& starts)
+{
+    std::vector<bool> seen(g.size(), false);
+    std::vector<std::size_t> stack;
+    for (std::size_t s : starts) {
+        if (s < g.size() && !seen[s]) {
+            seen[s] = true;
+            stack.push_back(s);
+        }
+    }
+    while (!stack.empty()) {
+        const std::size_t v = stack.back();
+        stack.pop_back();
+        for (std::size_t w : g.successors(v)) {
+            if (!seen[w]) {
+                seen[w] = true;
+                stack.push_back(w);
+            }
+        }
+    }
+    return seen;
+}
+
+bool is_weakly_connected(const digraph& g)
+{
+    if (g.size() == 0) {
+        return true;
+    }
+    std::vector<bool> seen(g.size(), false);
+    std::vector<std::size_t> stack{0};
+    seen[0] = true;
+    std::size_t visited = 1;
+    while (!stack.empty()) {
+        const std::size_t v = stack.back();
+        stack.pop_back();
+        const auto visit = [&](std::size_t w) {
+            if (!seen[w]) {
+                seen[w] = true;
+                ++visited;
+                stack.push_back(w);
+            }
+        };
+        for (std::size_t w : g.successors(v)) {
+            visit(w);
+        }
+        for (std::size_t w : g.predecessors(v)) {
+            visit(w);
+        }
+    }
+    return visited == g.size();
+}
+
+std::optional<std::vector<std::size_t>> topological_order(const digraph& g)
+{
+    std::vector<std::size_t> indegree(g.size(), 0);
+    for (std::size_t v = 0; v < g.size(); ++v) {
+        for (std::size_t w : g.successors(v)) {
+            ++indegree[w];
+        }
+    }
+    std::vector<std::size_t> ready;
+    for (std::size_t v = 0; v < g.size(); ++v) {
+        if (indegree[v] == 0) {
+            ready.push_back(v);
+        }
+    }
+    std::vector<std::size_t> order;
+    order.reserve(g.size());
+    while (!ready.empty()) {
+        // Pop the smallest ready vertex so the order is deterministic.
+        const auto smallest = std::min_element(ready.begin(), ready.end());
+        const std::size_t v = *smallest;
+        ready.erase(smallest);
+        order.push_back(v);
+        for (std::size_t w : g.successors(v)) {
+            if (--indegree[w] == 0) {
+                ready.push_back(w);
+            }
+        }
+    }
+    if (order.size() != g.size()) {
+        return std::nullopt;
+    }
+    return order;
+}
+
+bool has_cycle(const digraph& g)
+{
+    return !topological_order(g).has_value();
+}
+
+} // namespace fcqss::graph

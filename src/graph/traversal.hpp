@@ -1,0 +1,32 @@
+// fcqss — graph/traversal.hpp
+// Reachability, connectivity and ordering queries over digraphs.
+#ifndef FCQSS_GRAPH_TRAVERSAL_HPP
+#define FCQSS_GRAPH_TRAVERSAL_HPP
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace fcqss::graph {
+
+/// Vertices reachable from `start` following edge direction; includes `start`.
+[[nodiscard]] std::vector<bool> reachable_from(const digraph& g, std::size_t start);
+
+/// Vertices reachable from any vertex in `starts`.
+[[nodiscard]] std::vector<bool> reachable_from_any(const digraph& g,
+                                                   const std::vector<std::size_t>& starts);
+
+/// True when the underlying undirected graph is connected (or empty).
+[[nodiscard]] bool is_weakly_connected(const digraph& g);
+
+/// Topological order of the vertices, or nullopt when the graph has a cycle.
+[[nodiscard]] std::optional<std::vector<std::size_t>> topological_order(const digraph& g);
+
+/// True when the graph contains a directed cycle.
+[[nodiscard]] bool has_cycle(const digraph& g);
+
+} // namespace fcqss::graph
+
+#endif // FCQSS_GRAPH_TRAVERSAL_HPP

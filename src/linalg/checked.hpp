@@ -1,0 +1,58 @@
+// fcqss — linalg/checked.hpp
+// Overflow-checked 64-bit integer arithmetic.  Invariant computation on
+// weighted nets multiplies arc weights and invariant entries; a silent wrap
+// would corrupt a schedulability verdict, so every operation traps instead.
+#ifndef FCQSS_LINALG_CHECKED_HPP
+#define FCQSS_LINALG_CHECKED_HPP
+
+#include <cstdint>
+
+#include "base/error.hpp"
+
+namespace fcqss::linalg {
+
+/// a + b, throwing arith_overflow_error on overflow.
+[[nodiscard]] inline std::int64_t checked_add(std::int64_t a, std::int64_t b)
+{
+    std::int64_t result = 0;
+    if (__builtin_add_overflow(a, b, &result)) {
+        throw arith_overflow_error("integer addition overflow");
+    }
+    return result;
+}
+
+/// a - b, throwing arith_overflow_error on overflow.
+[[nodiscard]] inline std::int64_t checked_sub(std::int64_t a, std::int64_t b)
+{
+    std::int64_t result = 0;
+    if (__builtin_sub_overflow(a, b, &result)) {
+        throw arith_overflow_error("integer subtraction overflow");
+    }
+    return result;
+}
+
+/// a * b, throwing arith_overflow_error on overflow.
+[[nodiscard]] inline std::int64_t checked_mul(std::int64_t a, std::int64_t b)
+{
+    std::int64_t result = 0;
+    if (__builtin_mul_overflow(a, b, &result)) {
+        throw arith_overflow_error("integer multiplication overflow");
+    }
+    return result;
+}
+
+/// -a, throwing arith_overflow_error for INT64_MIN.
+[[nodiscard]] inline std::int64_t checked_neg(std::int64_t a)
+{
+    return checked_sub(0, a);
+}
+
+/// Greatest common divisor of |a| and |b|; gcd(0, 0) == 0.
+[[nodiscard]] std::int64_t gcd64(std::int64_t a, std::int64_t b) noexcept;
+
+/// Least common multiple of |a| and |b| with overflow checking.
+[[nodiscard]] std::int64_t lcm64(std::int64_t a, std::int64_t b);
+
+} // namespace fcqss::linalg
+
+#endif // FCQSS_LINALG_CHECKED_HPP

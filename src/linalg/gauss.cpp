@@ -1,0 +1,153 @@
+#include "linalg/gauss.hpp"
+
+#include "base/error.hpp"
+#include "linalg/checked.hpp"
+
+namespace fcqss::linalg {
+
+rational_matrix to_rational(const int_matrix& m)
+{
+    rational_matrix result(m.rows(), std::vector<rational>(m.cols()));
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        for (std::size_t c = 0; c < m.cols(); ++c) {
+            result[r][c] = rational(m.at(r, c));
+        }
+    }
+    return result;
+}
+
+std::size_t row_echelon(rational_matrix& m)
+{
+    if (m.empty()) {
+        return 0;
+    }
+    const std::size_t rows = m.size();
+    const std::size_t cols = m[0].size();
+    std::size_t pivot_row = 0;
+    for (std::size_t col = 0; col < cols && pivot_row < rows; ++col) {
+        // Find a non-zero pivot in this column at or below pivot_row.
+        std::size_t candidate = pivot_row;
+        while (candidate < rows && m[candidate][col].is_zero()) {
+            ++candidate;
+        }
+        if (candidate == rows) {
+            continue;
+        }
+        std::swap(m[pivot_row], m[candidate]);
+        const rational pivot = m[pivot_row][col];
+        for (std::size_t c = col; c < cols; ++c) {
+            m[pivot_row][c] /= pivot;
+        }
+        for (std::size_t r = 0; r < rows; ++r) {
+            if (r == pivot_row || m[r][col].is_zero()) {
+                continue;
+            }
+            const rational factor = m[r][col];
+            for (std::size_t c = col; c < cols; ++c) {
+                m[r][c] -= factor * m[pivot_row][c];
+            }
+        }
+        ++pivot_row;
+    }
+    return pivot_row;
+}
+
+std::size_t rank(const int_matrix& m)
+{
+    rational_matrix work = to_rational(m);
+    return row_echelon(work);
+}
+
+std::vector<int_vector> null_space_basis(const int_matrix& m)
+{
+    const std::size_t cols = m.cols();
+    rational_matrix work = to_rational(m);
+    row_echelon(work);
+
+    // Identify pivot columns from the reduced form.
+    std::vector<std::size_t> pivot_col_of_row;
+    std::vector<bool> is_pivot_col(cols, false);
+    for (const auto& row : work) {
+        for (std::size_t c = 0; c < cols; ++c) {
+            if (!row[c].is_zero()) {
+                pivot_col_of_row.push_back(c);
+                is_pivot_col[c] = true;
+                break;
+            }
+        }
+    }
+
+    std::vector<int_vector> basis;
+    for (std::size_t free_col = 0; free_col < cols; ++free_col) {
+        if (is_pivot_col[free_col]) {
+            continue;
+        }
+        // Back-substitute with the free variable set to 1.
+        std::vector<rational> x(cols, rational(0));
+        x[free_col] = rational(1);
+        for (std::size_t r = pivot_col_of_row.size(); r-- > 0;) {
+            const std::size_t pc = pivot_col_of_row[r];
+            rational sum(0);
+            for (std::size_t c = pc + 1; c < cols; ++c) {
+                sum += work[r][c] * x[c];
+            }
+            x[pc] = -sum; // pivot entry is 1 after full reduction
+        }
+        // Clear denominators to get a primitive integer vector.
+        std::int64_t denominator_lcm = 1;
+        for (const rational& v : x) {
+            denominator_lcm = lcm64(denominator_lcm, v.den());
+        }
+        int_vector integral(cols);
+        for (std::size_t c = 0; c < cols; ++c) {
+            integral[c] = checked_mul(x[c].num(), denominator_lcm / x[c].den());
+        }
+        normalize_by_gcd(integral);
+        basis.push_back(std::move(integral));
+    }
+    return basis;
+}
+
+std::optional<std::vector<rational>> solve(const int_matrix& m, const int_vector& b)
+{
+    if (b.size() != m.rows()) {
+        throw model_error("linalg::solve: dimension mismatch");
+    }
+    const std::size_t cols = m.cols();
+    // Augmented matrix [m | b].
+    rational_matrix work(m.rows(), std::vector<rational>(cols + 1));
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+            work[r][c] = rational(m.at(r, c));
+        }
+        work[r][cols] = rational(b[r]);
+    }
+    row_echelon(work);
+
+    std::vector<rational> x(cols, rational(0));
+    for (const auto& row : work) {
+        std::size_t pivot = cols + 1;
+        for (std::size_t c = 0; c <= cols; ++c) {
+            if (!row[c].is_zero()) {
+                pivot = c;
+                break;
+            }
+        }
+        if (pivot == cols) {
+            return std::nullopt; // row reads 0 = nonzero
+        }
+        if (pivot > cols) {
+            continue; // all-zero row
+        }
+        // After full reduction each pivot row determines its pivot variable
+        // once the free variables (set to 0) are substituted.
+        rational value = row[cols];
+        for (std::size_t c = pivot + 1; c < cols; ++c) {
+            value -= row[c] * x[c];
+        }
+        x[pivot] = value;
+    }
+    return x;
+}
+
+} // namespace fcqss::linalg

@@ -1,0 +1,40 @@
+// fcqss — linalg/gauss.hpp
+// Exact Gaussian elimination over the rationals: rank, null-space basis and
+// linear-system solving.  Consistency of a net (Def. 2.1) and the SDF balance
+// equations both reduce to questions about the incidence matrix's null space.
+#ifndef FCQSS_LINALG_GAUSS_HPP
+#define FCQSS_LINALG_GAUSS_HPP
+
+#include <optional>
+#include <vector>
+
+#include "linalg/int_matrix.hpp"
+#include "linalg/rational.hpp"
+
+namespace fcqss::linalg {
+
+/// Matrix of exact rationals, row major.
+using rational_matrix = std::vector<std::vector<rational>>;
+
+/// Converts an integer matrix to rationals.
+[[nodiscard]] rational_matrix to_rational(const int_matrix& m);
+
+/// Reduces `m` in place to row echelon form; returns the rank.
+/// Column order is preserved (no pivoting across columns).
+std::size_t row_echelon(rational_matrix& m);
+
+/// Rank of an integer matrix (exact).
+[[nodiscard]] std::size_t rank(const int_matrix& m);
+
+/// A basis of the right null space { x : m x = 0 }, as integer vectors scaled
+/// to be primitive (entry gcd 1).  Basis vectors are in bijection with the
+/// free columns of the echelon form, so the result is deterministic.
+[[nodiscard]] std::vector<int_vector> null_space_basis(const int_matrix& m);
+
+/// Solves m x = b exactly.  Returns one solution or nullopt when inconsistent.
+[[nodiscard]] std::optional<std::vector<rational>>
+solve(const int_matrix& m, const int_vector& b);
+
+} // namespace fcqss::linalg
+
+#endif // FCQSS_LINALG_GAUSS_HPP

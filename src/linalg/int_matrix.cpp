@@ -1,0 +1,188 @@
+#include "linalg/int_matrix.hpp"
+
+#include "base/error.hpp"
+#include "linalg/checked.hpp"
+
+namespace fcqss::linalg {
+
+int_vector add(const int_vector& v, const int_vector& w)
+{
+    if (v.size() != w.size()) {
+        throw model_error("int_vector add: size mismatch");
+    }
+    int_vector result(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        result[i] = checked_add(v[i], w[i]);
+    }
+    return result;
+}
+
+int_vector scale(const int_vector& v, std::int64_t c)
+{
+    int_vector result(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        result[i] = checked_mul(v[i], c);
+    }
+    return result;
+}
+
+std::int64_t dot(const int_vector& v, const int_vector& w)
+{
+    if (v.size() != w.size()) {
+        throw model_error("int_vector dot: size mismatch");
+    }
+    std::int64_t sum = 0;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        sum = checked_add(sum, checked_mul(v[i], w[i]));
+    }
+    return sum;
+}
+
+bool is_zero(const int_vector& v) noexcept
+{
+    for (std::int64_t x : v) {
+        if (x != 0) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool is_semipositive(const int_vector& v) noexcept
+{
+    bool any_positive = false;
+    for (std::int64_t x : v) {
+        if (x < 0) {
+            return false;
+        }
+        any_positive = any_positive || x > 0;
+    }
+    return any_positive;
+}
+
+std::vector<std::size_t> support(const int_vector& v)
+{
+    std::vector<std::size_t> result;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        if (v[i] != 0) {
+            result.push_back(i);
+        }
+    }
+    return result;
+}
+
+void normalize_by_gcd(int_vector& v)
+{
+    std::int64_t g = 0;
+    for (std::int64_t x : v) {
+        g = gcd64(g, x);
+    }
+    if (g > 1) {
+        for (std::int64_t& x : v) {
+            x /= g;
+        }
+    }
+}
+
+bool support_subset(const int_vector& v, const int_vector& w) noexcept
+{
+    const std::size_t n = v.size() < w.size() ? v.size() : w.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (v[i] != 0 && w[i] == 0) {
+            return false;
+        }
+    }
+    for (std::size_t i = n; i < v.size(); ++i) {
+        if (v[i] != 0) {
+            return false;
+        }
+    }
+    return true;
+}
+
+int_matrix::int_matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0)
+{
+}
+
+std::int64_t& int_matrix::at(std::size_t r, std::size_t c)
+{
+    if (r >= rows_ || c >= cols_) {
+        throw model_error("int_matrix::at: index out of range");
+    }
+    return data_[r * cols_ + c];
+}
+
+std::int64_t int_matrix::at(std::size_t r, std::size_t c) const
+{
+    if (r >= rows_ || c >= cols_) {
+        throw model_error("int_matrix::at: index out of range");
+    }
+    return data_[r * cols_ + c];
+}
+
+int_vector int_matrix::row(std::size_t r) const
+{
+    if (r >= rows_) {
+        throw model_error("int_matrix::row: index out of range");
+    }
+    return {data_.begin() + static_cast<std::ptrdiff_t>(r * cols_),
+            data_.begin() + static_cast<std::ptrdiff_t>((r + 1) * cols_)};
+}
+
+int_vector int_matrix::column(std::size_t c) const
+{
+    if (c >= cols_) {
+        throw model_error("int_matrix::column: index out of range");
+    }
+    int_vector result(rows_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        result[r] = data_[r * cols_ + c];
+    }
+    return result;
+}
+
+int_vector int_matrix::multiply(const int_vector& v) const
+{
+    if (v.size() != cols_) {
+        throw model_error("int_matrix::multiply: dimension mismatch");
+    }
+    int_vector result(rows_, 0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        std::int64_t sum = 0;
+        for (std::size_t c = 0; c < cols_; ++c) {
+            sum = checked_add(sum, checked_mul(data_[r * cols_ + c], v[c]));
+        }
+        result[r] = sum;
+    }
+    return result;
+}
+
+int_matrix int_matrix::transposed() const
+{
+    int_matrix result(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        for (std::size_t c = 0; c < cols_; ++c) {
+            result.at(c, r) = data_[r * cols_ + c];
+        }
+    }
+    return result;
+}
+
+std::string int_matrix::to_string() const
+{
+    std::string text;
+    for (std::size_t r = 0; r < rows_; ++r) {
+        text += "[";
+        for (std::size_t c = 0; c < cols_; ++c) {
+            if (c != 0) {
+                text += ' ';
+            }
+            text += std::to_string(data_[r * cols_ + c]);
+        }
+        text += "]\n";
+    }
+    return text;
+}
+
+} // namespace fcqss::linalg

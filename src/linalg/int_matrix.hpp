@@ -1,0 +1,76 @@
+// fcqss — linalg/int_matrix.hpp
+// Dense integer matrices and vectors with checked arithmetic.  The Petri-net
+// incidence matrix and all invariant computations live on these types.
+#ifndef FCQSS_LINALG_INT_MATRIX_HPP
+#define FCQSS_LINALG_INT_MATRIX_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fcqss::linalg {
+
+/// Integer column vector.
+using int_vector = std::vector<std::int64_t>;
+
+/// v + w (checked); sizes must match.
+[[nodiscard]] int_vector add(const int_vector& v, const int_vector& w);
+
+/// c * v (checked).
+[[nodiscard]] int_vector scale(const int_vector& v, std::int64_t c);
+
+/// Dot product (checked); sizes must match.
+[[nodiscard]] std::int64_t dot(const int_vector& v, const int_vector& w);
+
+/// True when every entry is zero.
+[[nodiscard]] bool is_zero(const int_vector& v) noexcept;
+
+/// True when every entry is >= 0 and at least one is > 0.
+[[nodiscard]] bool is_semipositive(const int_vector& v) noexcept;
+
+/// Indices of the non-zero entries.
+[[nodiscard]] std::vector<std::size_t> support(const int_vector& v);
+
+/// Divides all entries by their collective gcd (no-op for the zero vector).
+void normalize_by_gcd(int_vector& v);
+
+/// True when support(v) is a subset of support(w).
+[[nodiscard]] bool support_subset(const int_vector& v, const int_vector& w) noexcept;
+
+/// Dense row-major integer matrix.
+class int_matrix {
+public:
+    int_matrix() = default;
+    int_matrix(std::size_t rows, std::size_t cols);
+
+    [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+    [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+    [[nodiscard]] std::int64_t& at(std::size_t r, std::size_t c);
+    [[nodiscard]] std::int64_t at(std::size_t r, std::size_t c) const;
+
+    /// Row r as a vector copy.
+    [[nodiscard]] int_vector row(std::size_t r) const;
+    /// Column c as a vector copy.
+    [[nodiscard]] int_vector column(std::size_t c) const;
+
+    /// Matrix * vector (checked); v.size() must equal cols().
+    [[nodiscard]] int_vector multiply(const int_vector& v) const;
+
+    /// The transpose.
+    [[nodiscard]] int_matrix transposed() const;
+
+    /// Multi-line human-readable dump (for diagnostics and tests).
+    [[nodiscard]] std::string to_string() const;
+
+    friend bool operator==(const int_matrix& a, const int_matrix& b) = default;
+
+private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<std::int64_t> data_;
+};
+
+} // namespace fcqss::linalg
+
+#endif // FCQSS_LINALG_INT_MATRIX_HPP

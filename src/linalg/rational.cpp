@@ -1,0 +1,147 @@
+#include "linalg/rational.hpp"
+
+#include <ostream>
+
+#include "base/error.hpp"
+#include "linalg/checked.hpp"
+
+namespace fcqss::linalg {
+
+std::int64_t gcd64(std::int64_t a, std::int64_t b) noexcept
+{
+    // Compute on unsigned magnitudes so INT64_MIN does not overflow on negate.
+    auto ua = a < 0 ? 0ULL - static_cast<unsigned long long>(a)
+                    : static_cast<unsigned long long>(a);
+    auto ub = b < 0 ? 0ULL - static_cast<unsigned long long>(b)
+                    : static_cast<unsigned long long>(b);
+    while (ub != 0) {
+        const auto r = ua % ub;
+        ua = ub;
+        ub = r;
+    }
+    return static_cast<std::int64_t>(ua);
+}
+
+std::int64_t lcm64(std::int64_t a, std::int64_t b)
+{
+    if (a == 0 || b == 0) {
+        return 0;
+    }
+    const std::int64_t g = gcd64(a, b);
+    const std::int64_t a_abs = a < 0 ? checked_neg(a) : a;
+    const std::int64_t b_abs = b < 0 ? checked_neg(b) : b;
+    return checked_mul(a_abs / g, b_abs);
+}
+
+rational::rational(std::int64_t numerator) : num_(numerator), den_(1) {}
+
+rational::rational(std::int64_t numerator, std::int64_t denominator)
+    : num_(numerator), den_(denominator)
+{
+    if (den_ == 0) {
+        throw domain_error("rational: zero denominator");
+    }
+    normalize();
+}
+
+void rational::normalize()
+{
+    if (den_ < 0) {
+        num_ = checked_neg(num_);
+        den_ = checked_neg(den_);
+    }
+    if (num_ == 0) {
+        den_ = 1;
+        return;
+    }
+    const std::int64_t g = gcd64(num_, den_);
+    num_ /= g;
+    den_ /= g;
+}
+
+std::int64_t rational::as_integer() const
+{
+    if (!is_integer()) {
+        throw domain_error("rational::as_integer: " + to_string() + " is not integral");
+    }
+    return num_;
+}
+
+rational rational::operator-() const
+{
+    rational r = *this;
+    r.num_ = checked_neg(r.num_);
+    return r;
+}
+
+rational& rational::operator+=(const rational& rhs)
+{
+    // Reduce cross terms first to delay overflow: a/b + c/d with g = gcd(b, d).
+    const std::int64_t g = gcd64(den_, rhs.den_);
+    const std::int64_t rhs_scale = den_ / g;
+    const std::int64_t lhs_scale = rhs.den_ / g;
+    num_ = checked_add(checked_mul(num_, lhs_scale), checked_mul(rhs.num_, rhs_scale));
+    den_ = checked_mul(den_, lhs_scale);
+    normalize();
+    return *this;
+}
+
+rational& rational::operator-=(const rational& rhs)
+{
+    return *this += -rhs;
+}
+
+rational& rational::operator*=(const rational& rhs)
+{
+    // Cross-cancel before multiplying to keep intermediates small.
+    const std::int64_t g1 = gcd64(num_, rhs.den_);
+    const std::int64_t g2 = gcd64(rhs.num_, den_);
+    num_ = checked_mul(num_ / g1, rhs.num_ / g2);
+    den_ = checked_mul(den_ / g2, rhs.den_ / g1);
+    normalize();
+    return *this;
+}
+
+rational& rational::operator/=(const rational& rhs)
+{
+    if (rhs.is_zero()) {
+        throw domain_error("rational: division by zero");
+    }
+    return *this *= reciprocal(rhs);
+}
+
+std::strong_ordering operator<=>(const rational& a, const rational& b)
+{
+    // a.num/a.den <=> b.num/b.den with positive denominators.
+    const std::int64_t lhs = checked_mul(a.num_, b.den_);
+    const std::int64_t rhs = checked_mul(b.num_, a.den_);
+    return lhs <=> rhs;
+}
+
+std::string rational::to_string() const
+{
+    if (den_ == 1) {
+        return std::to_string(num_);
+    }
+    return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+std::ostream& operator<<(std::ostream& os, const rational& r)
+{
+    return os << r.to_string();
+}
+
+rational reciprocal(const rational& r)
+{
+    if (r.is_zero()) {
+        throw domain_error("rational: reciprocal of zero");
+    }
+    return {r.den(), r.num()};
+}
+
+rational abs(const rational& r)
+{
+    return r.sign() < 0 ? -r : r;
+}
+
+} // namespace fcqss::linalg

@@ -1,0 +1,192 @@
+#include "nets/paper_nets.hpp"
+
+#include "pn/builder.hpp"
+
+namespace fcqss::nets {
+
+pn::petri_net figure_1a()
+{
+    pn::net_builder b("fig1a");
+    const auto p1 = b.add_place("p1", 1);
+    const auto t1 = b.add_transition("t1");
+    const auto t2 = b.add_transition("t2");
+    b.add_arc(p1, t1);
+    b.add_arc(p1, t2);
+    return std::move(b).build();
+}
+
+pn::petri_net figure_1b()
+{
+    pn::net_builder b("fig1b");
+    const auto p1 = b.add_place("p1", 1);
+    const auto p2 = b.add_place("p2");
+    const auto t1 = b.add_transition("t1");
+    const auto t2 = b.add_transition("t2");
+    const auto t3 = b.add_transition("t3");
+    b.add_arc(t1, p2);
+    b.add_arc(p1, t2);
+    // t3 consumes the shared place p1 AND p2: there is a marking where t3 is
+    // enabled and t2 is not, so the net is not free choice.
+    b.add_arc(p1, t3);
+    b.add_arc(p2, t3);
+    return std::move(b).build();
+}
+
+pn::petri_net figure_2()
+{
+    pn::net_builder b("fig2");
+    const auto t1 = b.add_transition("t1");
+    const auto t2 = b.add_transition("t2");
+    const auto t3 = b.add_transition("t3");
+    const auto p1 = b.add_place("p1");
+    const auto p2 = b.add_place("p2");
+    b.add_arc(t1, p1);
+    b.add_arc(p1, t2, 2);
+    b.add_arc(t2, p2);
+    b.add_arc(p2, t3, 2);
+    return std::move(b).build();
+}
+
+pn::petri_net figure_3a()
+{
+    pn::net_builder b("fig3a");
+    const auto t1 = b.add_transition("t1");
+    const auto t2 = b.add_transition("t2");
+    const auto t3 = b.add_transition("t3");
+    const auto t4 = b.add_transition("t4");
+    const auto t5 = b.add_transition("t5");
+    const auto p1 = b.add_place("p1");
+    const auto p2 = b.add_place("p2");
+    const auto p3 = b.add_place("p3");
+    b.add_arc(t1, p1);
+    b.add_arc(p1, t2);
+    b.add_arc(p1, t3);
+    b.add_arc(t2, p2);
+    b.add_arc(p2, t4);
+    b.add_arc(t3, p3);
+    b.add_arc(p3, t5);
+    return std::move(b).build();
+}
+
+pn::petri_net figure_3b()
+{
+    pn::net_builder b("fig3b");
+    const auto t1 = b.add_transition("t1");
+    const auto t2 = b.add_transition("t2");
+    const auto t3 = b.add_transition("t3");
+    const auto t4 = b.add_transition("t4");
+    const auto p1 = b.add_place("p1");
+    const auto p2 = b.add_place("p2");
+    const auto p3 = b.add_place("p3");
+    b.add_arc(t1, p1);
+    b.add_arc(p1, t2);
+    b.add_arc(p1, t3);
+    b.add_arc(t2, p2);
+    b.add_arc(t3, p3);
+    // t4 joins both branches: whichever branch the adversary starves
+    // accumulates tokens on the other side without bound.
+    b.add_arc(p2, t4);
+    b.add_arc(p3, t4);
+    return std::move(b).build();
+}
+
+pn::petri_net figure_4()
+{
+    pn::net_builder b("fig4");
+    const auto t1 = b.add_transition("t1");
+    const auto t2 = b.add_transition("t2");
+    const auto t3 = b.add_transition("t3");
+    const auto t4 = b.add_transition("t4");
+    const auto t5 = b.add_transition("t5");
+    const auto p1 = b.add_place("p1");
+    const auto p2 = b.add_place("p2");
+    const auto p3 = b.add_place("p3");
+    b.add_arc(t1, p1);
+    b.add_arc(p1, t2);
+    b.add_arc(p1, t3);
+    b.add_arc(t2, p2);
+    b.add_arc(p2, t4, 2); // t2 must fire twice before t4 is enabled
+    b.add_arc(t3, p3, 2); // one t3 firing feeds two t5 firings
+    b.add_arc(p3, t5);
+    return std::move(b).build();
+}
+
+pn::petri_net figure_5()
+{
+    pn::net_builder b("fig5");
+    const auto t1 = b.add_transition("t1");
+    const auto t2 = b.add_transition("t2");
+    const auto t3 = b.add_transition("t3");
+    const auto t4 = b.add_transition("t4");
+    const auto t5 = b.add_transition("t5");
+    const auto t6 = b.add_transition("t6");
+    const auto t7 = b.add_transition("t7");
+    const auto t8 = b.add_transition("t8");
+    const auto t9 = b.add_transition("t9");
+    const auto p1 = b.add_place("p1");
+    const auto p2 = b.add_place("p2");
+    const auto p3 = b.add_place("p3");
+    const auto p4 = b.add_place("p4");
+    const auto p5 = b.add_place("p5");
+    const auto p6 = b.add_place("p6");
+    const auto p7 = b.add_place("p7");
+
+    b.add_arc(t1, p1);
+    b.add_arc(p1, t2);
+    b.add_arc(p1, t3);
+    // Allocated branch A1: t2 -> p2 *2 -> t4 -> p4 *2 -> t6.
+    b.add_arc(t2, p2, 2);
+    b.add_arc(p2, t4);
+    b.add_arc(t4, p4, 2);
+    b.add_arc(p4, t6);
+    // Allocated branch A2: t3 -> p3 -> t5 -> {p5 *2, p6 *2} -> t7 (join).
+    b.add_arc(t3, p3);
+    b.add_arc(p3, t5);
+    b.add_arc(t5, p5, 2);
+    b.add_arc(t5, p6, 2);
+    b.add_arc(p5, t7);
+    b.add_arc(p6, t7);
+    // Second source: t8 -> p7 -> t9 -> p4 (feeds the shared tail t6).
+    b.add_arc(t8, p7);
+    b.add_arc(p7, t9);
+    b.add_arc(t9, p4);
+    return std::move(b).build();
+}
+
+pn::petri_net figure_7()
+{
+    pn::net_builder b("fig7");
+    const auto t1 = b.add_transition("t1");
+    const auto t2 = b.add_transition("t2");
+    const auto t3 = b.add_transition("t3");
+    const auto t4 = b.add_transition("t4");
+    const auto t5 = b.add_transition("t5");
+    const auto t6 = b.add_transition("t6");
+    const auto t7 = b.add_transition("t7");
+    const auto p1 = b.add_place("p1");
+    const auto p2 = b.add_place("p2");
+    const auto p3 = b.add_place("p3");
+    const auto p4 = b.add_place("p4");
+    const auto p5 = b.add_place("p5");
+    const auto p6 = b.add_place("p6");
+
+    b.add_arc(t1, p1);
+    b.add_arc(p1, t2);
+    b.add_arc(p1, t3);
+    b.add_arc(t2, p2);
+    b.add_arc(p2, t4);
+    b.add_arc(t3, p3);
+    b.add_arc(p3, t5);
+    b.add_arc(t4, p4);
+    b.add_arc(t5, p5);
+    b.add_arc(t5, p6);
+    // t6 joins the two branches of the choice — the reduction keeps the
+    // starved side as a producerless place, making both R1 and R2
+    // inconsistent (finite execution only).
+    b.add_arc(p4, t6);
+    b.add_arc(p5, t6);
+    b.add_arc(p6, t7);
+    return std::move(b).build();
+}
+
+} // namespace fcqss::nets

@@ -1,0 +1,56 @@
+// fcqss — nets/paper_nets.hpp
+// Faithful constructions of every net that appears in the paper's figures.
+// Tests pin the published analysis results (invariants, schedules,
+// reductions) against these; benches regenerate the figures from them.
+//
+// Where the figure is ambiguous in the scanned text, the reconstruction is
+// the one consistent with ALL published numbers; see DESIGN.md.  In
+// particular Fig. 5 is fixed by its published T-invariants
+// (1,1,0,2,0,4,0,0,0) and (0,0,0,0,0,1,0,1,1) and both published cycles.
+#ifndef FCQSS_NETS_PAPER_NETS_HPP
+#define FCQSS_NETS_PAPER_NETS_HPP
+
+#include "pn/petri_net.hpp"
+
+namespace fcqss::nets {
+
+/// Fig. 1a: a free choice — place with two consumers, each single-input.
+[[nodiscard]] pn::petri_net figure_1a();
+
+/// Fig. 1b: NOT free choice — t3 shares input place p1 with t2 but also
+/// consumes p2, so t3 can be enabled while t2 is not.
+[[nodiscard]] pn::petri_net figure_1b();
+
+/// Fig. 2: multirate marked graph / SDF chain t1 ->2 t2 ->2 t3 with
+/// T-invariant f = (4,2,1) and static schedule t1 t1 t1 t1 t2 t2 t3.
+[[nodiscard]] pn::petri_net figure_2();
+
+/// Fig. 3a: schedulable FCPN; valid schedule {(t1 t2 t4), (t1 t3 t5)};
+/// T-invariant space a(1,1,0,1,0) + b(1,0,1,0,1).
+[[nodiscard]] pn::petri_net figure_3a();
+
+/// Fig. 3b: NOT schedulable: t4 joins both branches of the choice, so a
+/// one-sided adversary accumulates tokens without bound.  Only the balanced
+/// vector (2,1,1,1) is a T-invariant.
+[[nodiscard]] pn::petri_net figure_3b();
+
+/// Fig. 4: schedulable multirate FCPN with weighted arcs; valid schedule
+/// {(t1 t2 t1 t2 t4), (t1 t3 t5 t5)}; Sec. 4 derives its C code.
+[[nodiscard]] pn::petri_net figure_4();
+
+/// Fig. 5: the T-allocation / T-reduction example: sources t1 and t8,
+/// choice p1 -> {t2, t3}, weights 2 on t2->p2, t4->p4, t5->p5, t5->p6.
+/// Valid schedule {(t1 t2 t4 t4 t6 t6 t6 t6 t8 t9 t6), (t1 t3 t5 t7 t7 t8 t9 t6)}.
+[[nodiscard]] pn::petri_net figure_5();
+
+/// Fig. 7: NOT schedulable: both T-reductions keep a producerless place
+/// (t6 joins p4 and p5 fed by different branches of the choice) and are
+/// therefore inconsistent.
+[[nodiscard]] pn::petri_net figure_7();
+
+/// The Sec. 4 code-generation example is Fig. 4; alias for readability.
+[[nodiscard]] inline pn::petri_net section_4_example() { return figure_4(); }
+
+} // namespace fcqss::nets
+
+#endif // FCQSS_NETS_PAPER_NETS_HPP

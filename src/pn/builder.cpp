@@ -1,0 +1,117 @@
+#include "pn/builder.hpp"
+
+#include <utility>
+
+#include "base/error.hpp"
+
+namespace fcqss::pn {
+
+net_builder::net_builder(std::string net_name)
+{
+    net_.name_ = std::move(net_name);
+}
+
+place_id net_builder::add_place(const std::string& name, std::int64_t initial_tokens)
+{
+    if (name.empty()) {
+        throw model_error("net_builder: empty place name");
+    }
+    if (net_.place_by_name_.contains(name)) {
+        throw model_error("net_builder: duplicate place name '" + name + "'");
+    }
+    if (initial_tokens < 0) {
+        throw model_error("net_builder: negative initial marking for '" + name + "'");
+    }
+    const place_id id{static_cast<std::int32_t>(net_.place_count())};
+    net_.place_names_.push_back(name);
+    net_.place_by_name_.emplace(name, id);
+    net_.place_consumers_.emplace_back();
+    net_.place_producers_.emplace_back();
+    net_.initial_marking_.push_back(initial_tokens);
+    return id;
+}
+
+transition_id net_builder::add_transition(const std::string& name)
+{
+    if (name.empty()) {
+        throw model_error("net_builder: empty transition name");
+    }
+    if (net_.transition_by_name_.contains(name)) {
+        throw model_error("net_builder: duplicate transition name '" + name + "'");
+    }
+    const transition_id id{static_cast<std::int32_t>(net_.transition_count())};
+    net_.transition_names_.push_back(name);
+    net_.transition_by_name_.emplace(name, id);
+    net_.transition_inputs_.emplace_back();
+    net_.transition_outputs_.emplace_back();
+    return id;
+}
+
+void net_builder::add_arc(place_id from, transition_id to, std::int64_t weight)
+{
+    if (!from.valid() || from.index() >= net_.place_count()) {
+        throw model_error("net_builder: arc from unknown place");
+    }
+    if (!to.valid() || to.index() >= net_.transition_count()) {
+        throw model_error("net_builder: arc to unknown transition");
+    }
+    if (weight <= 0) {
+        throw model_error("net_builder: arc weight must be positive");
+    }
+    if (net_.arc_weight(from, to) != 0) {
+        throw model_error("net_builder: duplicate arc " + net_.place_name(from) + " -> " +
+                          net_.transition_name(to));
+    }
+    net_.place_consumers_[from.index()].push_back({to, weight});
+    net_.transition_inputs_[to.index()].push_back({from, weight});
+    ++net_.arc_count_;
+}
+
+void net_builder::add_arc(transition_id from, place_id to, std::int64_t weight)
+{
+    if (!from.valid() || from.index() >= net_.transition_count()) {
+        throw model_error("net_builder: arc from unknown transition");
+    }
+    if (!to.valid() || to.index() >= net_.place_count()) {
+        throw model_error("net_builder: arc to unknown place");
+    }
+    if (weight <= 0) {
+        throw model_error("net_builder: arc weight must be positive");
+    }
+    if (net_.arc_weight(from, to) != 0) {
+        throw model_error("net_builder: duplicate arc " + net_.transition_name(from) +
+                          " -> " + net_.place_name(to));
+    }
+    net_.transition_outputs_[from.index()].push_back({to, weight});
+    net_.place_producers_[to.index()].push_back({from, weight});
+    ++net_.arc_count_;
+}
+
+void net_builder::set_initial_tokens(place_id p, std::int64_t tokens)
+{
+    if (!p.valid() || p.index() >= net_.place_count()) {
+        throw model_error("net_builder: set_initial_tokens on unknown place");
+    }
+    if (tokens < 0) {
+        throw model_error("net_builder: negative initial marking");
+    }
+    net_.initial_marking_[p.index()] = tokens;
+}
+
+petri_net net_builder::build() &&
+{
+    if (net_.place_count() == 0 && net_.transition_count() == 0) {
+        throw model_error("net_builder: empty net");
+    }
+    return std::move(net_);
+}
+
+petri_net net_builder::build_copy() const
+{
+    if (net_.place_count() == 0 && net_.transition_count() == 0) {
+        throw model_error("net_builder: empty net");
+    }
+    return net_;
+}
+
+} // namespace fcqss::pn

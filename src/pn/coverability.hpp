@@ -1,0 +1,74 @@
+// fcqss — pn/coverability.hpp
+// Karp–Miller coverability tree.  Decides boundedness of (N, mu0) exactly —
+// the property the paper contrasts with quasi-static schedulability: a net
+// with source transitions is unbounded under arbitrary firing, yet may still
+// be QSS-schedulable because the *schedule* controls firing.  Tests and
+// benches use this to demonstrate that distinction.
+#ifndef FCQSS_PN_COVERABILITY_HPP
+#define FCQSS_PN_COVERABILITY_HPP
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "pn/marking.hpp"
+#include "pn/petri_net.hpp"
+
+namespace fcqss::pn {
+
+/// Token count in an omega-marking; `omega` represents "unboundedly many".
+struct omega_count {
+    static constexpr std::int64_t omega_value = std::numeric_limits<std::int64_t>::max();
+    std::int64_t value = 0;
+
+    [[nodiscard]] bool is_omega() const noexcept { return value == omega_value; }
+    friend bool operator==(const omega_count&, const omega_count&) = default;
+};
+
+/// Marking extended with omega components (Karp–Miller generalized marking).
+using omega_marking = std::vector<omega_count>;
+
+/// One node of the coverability tree.
+struct coverability_node {
+    omega_marking state;
+    /// Parent index (self for the root) — acceleration walks this chain.
+    std::size_t parent = 0;
+    /// Transition fired from the parent (invalid for the root).
+    transition_id via;
+    /// (transition, child index) pairs.
+    std::vector<std::pair<transition_id, std::size_t>> children;
+};
+
+struct coverability_options {
+    std::size_t max_nodes = 200000;
+};
+
+struct coverability_tree {
+    std::vector<coverability_node> nodes;
+    bool truncated = false;
+
+    [[nodiscard]] std::size_t size() const noexcept { return nodes.size(); }
+};
+
+/// Builds the Karp–Miller tree from the net's initial marking.
+[[nodiscard]] coverability_tree build_coverability_tree(const petri_net& net,
+                                                        const coverability_options& options = {});
+
+/// True when no omega appears in the tree: the net is bounded for arbitrary
+/// firing from its initial marking.  (Exact when !tree.truncated.)
+[[nodiscard]] bool is_bounded(const coverability_tree& tree);
+
+/// True when the net is k-bounded (every place <= k in every node).
+[[nodiscard]] bool is_k_bounded(const coverability_tree& tree, std::int64_t k);
+
+/// Places that acquire omega somewhere in the tree — the places where tokens
+/// can accumulate without bound.
+[[nodiscard]] std::vector<place_id> unbounded_places(const coverability_tree& tree);
+
+/// True when some node of the tree covers `target` componentwise (with omega
+/// covering everything) — the classical coverability query.
+[[nodiscard]] bool is_coverable(const coverability_tree& tree, const marking& target);
+
+} // namespace fcqss::pn
+
+#endif // FCQSS_PN_COVERABILITY_HPP

@@ -1,0 +1,104 @@
+#include "pn/firing.hpp"
+
+#include "base/error.hpp"
+
+namespace fcqss::pn {
+
+bool is_enabled(const petri_net& net, const marking& m, transition_id t)
+{
+    for (const place_weight& in : net.inputs(t)) {
+        if (m.tokens(in.place) < in.weight) {
+            return false;
+        }
+    }
+    return true;
+}
+
+void fire(const petri_net& net, marking& m, transition_id t)
+{
+    if (!is_enabled(net, m, t)) {
+        throw domain_error("fire: transition '" + net.transition_name(t) +
+                           "' is not enabled");
+    }
+    for (const place_weight& in : net.inputs(t)) {
+        m.add_tokens(in.place, -in.weight);
+    }
+    for (const place_weight& out : net.outputs(t)) {
+        m.add_tokens(out.place, out.weight);
+    }
+}
+
+bool try_fire(const petri_net& net, marking& m, transition_id t)
+{
+    if (!is_enabled(net, m, t)) {
+        return false;
+    }
+    fire(net, m, t);
+    return true;
+}
+
+std::vector<transition_id> enabled_transitions(const petri_net& net, const marking& m)
+{
+    std::vector<transition_id> result;
+    for (transition_id t : net.transitions()) {
+        if (is_enabled(net, m, t)) {
+            result.push_back(t);
+        }
+    }
+    return result;
+}
+
+bool is_deadlocked(const petri_net& net, const marking& m)
+{
+    for (transition_id t : net.transitions()) {
+        if (is_enabled(net, m, t)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::optional<marking> fire_sequence(const petri_net& net, marking m,
+                                     const firing_sequence& sequence)
+{
+    for (transition_id t : sequence) {
+        if (!try_fire(net, m, t)) {
+            return std::nullopt;
+        }
+    }
+    return m;
+}
+
+std::vector<std::int64_t> firing_count_vector(const petri_net& net,
+                                              const firing_sequence& sequence)
+{
+    std::vector<std::int64_t> counts(net.transition_count(), 0);
+    for (transition_id t : sequence) {
+        if (!t.valid() || t.index() >= counts.size()) {
+            throw model_error("firing_count_vector: transition id out of range");
+        }
+        ++counts[t.index()];
+    }
+    return counts;
+}
+
+bool is_finite_complete_cycle(const petri_net& net, const firing_sequence& sequence)
+{
+    const marking m0 = initial_marking(net);
+    const std::optional<marking> reached = fire_sequence(net, m0, sequence);
+    return reached.has_value() && *reached == m0;
+}
+
+std::string to_string(const petri_net& net, const firing_sequence& sequence)
+{
+    std::string text;
+    for (std::size_t i = 0; i < sequence.size(); ++i) {
+        if (i != 0) {
+            text += ' ';
+        }
+        text += net.transition_name(sequence[i]);
+    }
+    return text;
+}
+
+} // namespace fcqss::pn

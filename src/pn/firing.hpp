@@ -1,0 +1,55 @@
+// fcqss — pn/firing.hpp
+// The token game: enabling and firing of transitions (Sec. 2).
+#ifndef FCQSS_PN_FIRING_HPP
+#define FCQSS_PN_FIRING_HPP
+
+#include <optional>
+#include <vector>
+
+#include "pn/marking.hpp"
+#include "pn/petri_net.hpp"
+
+namespace fcqss::pn {
+
+/// A firing sequence sigma: transitions in firing order.
+using firing_sequence = std::vector<transition_id>;
+
+/// True when every input place p of t holds at least F(p, t) tokens.
+/// Source transitions (empty preset) are always enabled.
+[[nodiscard]] bool is_enabled(const petri_net& net, const marking& m, transition_id t);
+
+/// Fires t: removes F(p, t) tokens from each input place, adds F(t, p) to
+/// each output place.  Throws domain_error when t is not enabled.
+void fire(const petri_net& net, marking& m, transition_id t);
+
+/// Fires t if enabled; returns whether it fired.
+bool try_fire(const petri_net& net, marking& m, transition_id t);
+
+/// All transitions enabled at m, in ascending id order.
+[[nodiscard]] std::vector<transition_id> enabled_transitions(const petri_net& net,
+                                                             const marking& m);
+
+/// True when no transition is enabled at m (the marking is dead).
+[[nodiscard]] bool is_deadlocked(const petri_net& net, const marking& m);
+
+/// Fires the whole sequence from m; returns the reached marking, or nullopt
+/// when some transition in the sequence is not enabled at its turn.
+[[nodiscard]] std::optional<marking> fire_sequence(const petri_net& net, marking m,
+                                                   const firing_sequence& sequence);
+
+/// The firing-count vector f(sigma): entry t counts occurrences of t.
+[[nodiscard]] std::vector<std::int64_t> firing_count_vector(const petri_net& net,
+                                                            const firing_sequence& sequence);
+
+/// True when firing `sequence` from the net's initial marking succeeds and
+/// returns to the initial marking — i.e. the sequence is a *finite complete
+/// cycle* in the paper's sense.
+[[nodiscard]] bool is_finite_complete_cycle(const petri_net& net,
+                                            const firing_sequence& sequence);
+
+/// Renders a sequence as "t1 t2 t4" using net names.
+[[nodiscard]] std::string to_string(const petri_net& net, const firing_sequence& sequence);
+
+} // namespace fcqss::pn
+
+#endif // FCQSS_PN_FIRING_HPP

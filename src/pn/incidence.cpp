@@ -1,0 +1,45 @@
+#include "pn/incidence.hpp"
+
+#include "linalg/checked.hpp"
+
+namespace fcqss::pn {
+
+linalg::int_matrix pre_matrix(const petri_net& net)
+{
+    linalg::int_matrix m(net.place_count(), net.transition_count());
+    for (transition_id t : net.transitions()) {
+        for (const place_weight& in : net.inputs(t)) {
+            m.at(in.place.index(), t.index()) = in.weight;
+        }
+    }
+    return m;
+}
+
+linalg::int_matrix post_matrix(const petri_net& net)
+{
+    linalg::int_matrix m(net.place_count(), net.transition_count());
+    for (transition_id t : net.transitions()) {
+        for (const place_weight& out : net.outputs(t)) {
+            m.at(out.place.index(), t.index()) = out.weight;
+        }
+    }
+    return m;
+}
+
+linalg::int_matrix incidence_matrix(const petri_net& net)
+{
+    linalg::int_matrix m(net.place_count(), net.transition_count());
+    for (transition_id t : net.transitions()) {
+        for (const place_weight& out : net.outputs(t)) {
+            m.at(out.place.index(), t.index()) =
+                linalg::checked_add(m.at(out.place.index(), t.index()), out.weight);
+        }
+        for (const place_weight& in : net.inputs(t)) {
+            m.at(in.place.index(), t.index()) =
+                linalg::checked_sub(m.at(in.place.index(), t.index()), in.weight);
+        }
+    }
+    return m;
+}
+
+} // namespace fcqss::pn

@@ -1,0 +1,23 @@
+// fcqss — pn/incidence.hpp
+// Pre, Post and incidence matrices of a net.  The state equation of Sec. 2,
+// f(sigma)^T . D = 0, is C x = 0 here with C = Post - Pre (|P| x |T|).
+#ifndef FCQSS_PN_INCIDENCE_HPP
+#define FCQSS_PN_INCIDENCE_HPP
+
+#include "linalg/int_matrix.hpp"
+#include "pn/petri_net.hpp"
+
+namespace fcqss::pn {
+
+/// Pre[p][t] = F(p, t): tokens consumed from p when t fires.
+[[nodiscard]] linalg::int_matrix pre_matrix(const petri_net& net);
+
+/// Post[p][t] = F(t, p): tokens produced into p when t fires.
+[[nodiscard]] linalg::int_matrix post_matrix(const petri_net& net);
+
+/// C = Post - Pre, the token flow balance (|P| rows, |T| columns).
+[[nodiscard]] linalg::int_matrix incidence_matrix(const petri_net& net);
+
+} // namespace fcqss::pn
+
+#endif // FCQSS_PN_INCIDENCE_HPP

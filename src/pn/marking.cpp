@@ -1,0 +1,120 @@
+#include "pn/marking.hpp"
+
+#include <numeric>
+
+#include "base/error.hpp"
+#include "pn/petri_net.hpp"
+
+namespace fcqss::pn {
+
+marking::marking(std::vector<std::int64_t> tokens) : tokens_(std::move(tokens))
+{
+    for (std::int64_t count : tokens_) {
+        if (count < 0) {
+            throw model_error("marking: negative token count");
+        }
+    }
+}
+
+std::int64_t marking::tokens(place_id p) const
+{
+    if (!p.valid() || p.index() >= tokens_.size()) {
+        throw model_error("marking::tokens: place id out of range");
+    }
+    return tokens_[p.index()];
+}
+
+void marking::set_tokens(place_id p, std::int64_t count)
+{
+    if (!p.valid() || p.index() >= tokens_.size()) {
+        throw model_error("marking::set_tokens: place id out of range");
+    }
+    if (count < 0) {
+        throw model_error("marking::set_tokens: negative token count");
+    }
+    tokens_[p.index()] = count;
+}
+
+void marking::add_tokens(place_id p, std::int64_t delta)
+{
+    if (!p.valid() || p.index() >= tokens_.size()) {
+        throw model_error("marking::add_tokens: place id out of range");
+    }
+    const std::int64_t next = tokens_[p.index()] + delta;
+    if (next < 0) {
+        throw model_error("marking::add_tokens: token count would become negative");
+    }
+    tokens_[p.index()] = next;
+}
+
+std::int64_t marking::total() const noexcept
+{
+    return std::accumulate(tokens_.begin(), tokens_.end(), std::int64_t{0});
+}
+
+bool marking::covers(const marking& other) const
+{
+    if (size() != other.size()) {
+        throw model_error("marking::covers: size mismatch");
+    }
+    for (std::size_t i = 0; i < tokens_.size(); ++i) {
+        if (tokens_[i] < other.tokens_[i]) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::string marking::to_string() const
+{
+    std::string text = "(";
+    for (std::size_t i = 0; i < tokens_.size(); ++i) {
+        if (i != 0) {
+            text += ", ";
+        }
+        text += std::to_string(tokens_[i]);
+    }
+    text += ")";
+    return text;
+}
+
+std::string marking::to_string(const petri_net& net) const
+{
+    std::string text = "{";
+    bool first = true;
+    for (std::size_t i = 0; i < tokens_.size(); ++i) {
+        if (tokens_[i] == 0) {
+            continue;
+        }
+        if (!first) {
+            text += ", ";
+        }
+        first = false;
+        text += net.place_name(place_id{static_cast<std::int32_t>(i)});
+        text += ": ";
+        text += std::to_string(tokens_[i]);
+    }
+    text += "}";
+    return text;
+}
+
+marking initial_marking(const petri_net& net)
+{
+    return marking(net.initial_marking_vector());
+}
+
+std::size_t marking_hash::operator()(const marking& m) const noexcept
+{
+    // FNV-1a over the token counts.
+    std::size_t hash = 14695981039346656037ULL;
+    for (std::int64_t count : m.vector()) {
+        auto bits = static_cast<std::uint64_t>(count);
+        for (int byte = 0; byte < 8; ++byte) {
+            hash ^= (bits >> (byte * 8)) & 0xffU;
+            hash *= 1099511628211ULL;
+        }
+    }
+    return hash;
+}
+
+} // namespace fcqss::pn

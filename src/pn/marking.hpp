@@ -1,0 +1,66 @@
+// fcqss — pn/marking.hpp
+// Markings: token-count vectors over the places of a net.
+#ifndef FCQSS_PN_MARKING_HPP
+#define FCQSS_PN_MARKING_HPP
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "base/ids.hpp"
+
+namespace fcqss::pn {
+
+class petri_net;
+
+/// A marking mu assigns a non-negative token count to every place.
+class marking {
+public:
+    marking() = default;
+    /// All-zero marking over `place_count` places.
+    explicit marking(std::size_t place_count) : tokens_(place_count, 0) {}
+    /// Marking from an explicit vector (validated non-negative).
+    explicit marking(std::vector<std::int64_t> tokens);
+
+    [[nodiscard]] std::size_t size() const noexcept { return tokens_.size(); }
+
+    [[nodiscard]] std::int64_t tokens(place_id p) const;
+    void set_tokens(place_id p, std::int64_t count);
+    /// Adds `delta` tokens (may be negative); throws when the result would be
+    /// negative, which indicates an illegal firing.
+    void add_tokens(place_id p, std::int64_t delta);
+
+    /// Total token count over all places.
+    [[nodiscard]] std::int64_t total() const noexcept;
+
+    [[nodiscard]] const std::vector<std::int64_t>& vector() const noexcept
+    {
+        return tokens_;
+    }
+
+    /// Componentwise >= comparison (marking covering).
+    [[nodiscard]] bool covers(const marking& other) const;
+
+    friend bool operator==(const marking&, const marking&) = default;
+
+    /// Renders as e.g. "(1, 0, 2)"; with a net, as "{p1: 1, p3: 2}" listing
+    /// only marked places.
+    [[nodiscard]] std::string to_string() const;
+    [[nodiscard]] std::string to_string(const petri_net& net) const;
+
+private:
+    std::vector<std::int64_t> tokens_;
+};
+
+/// The initial marking mu0 of a net, as a marking object.
+[[nodiscard]] marking initial_marking(const petri_net& net);
+
+/// Hash functor so markings can key unordered containers (reachability sets).
+struct marking_hash {
+    std::size_t operator()(const marking& m) const noexcept;
+};
+
+} // namespace fcqss::pn
+
+#endif // FCQSS_PN_MARKING_HPP

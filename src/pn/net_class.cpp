@@ -1,0 +1,107 @@
+#include "pn/net_class.hpp"
+
+#include "pn/structure.hpp"
+
+namespace fcqss::pn {
+
+bool is_marked_graph(const petri_net& net)
+{
+    for (place_id p : net.places()) {
+        if (net.producers(p).size() > 1 || net.consumers(p).size() > 1) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool is_conflict_free(const petri_net& net)
+{
+    for (place_id p : net.places()) {
+        if (net.consumers(p).size() > 1) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool is_free_choice(const petri_net& net)
+{
+    for (place_id p : net.places()) {
+        const auto& consumers = net.consumers(p);
+        if (consumers.size() <= 1) {
+            continue;
+        }
+        for (const transition_weight& consumer : consumers) {
+            if (net.inputs(consumer.transition).size() != 1) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+bool is_equal_conflict_free_choice(const petri_net& net)
+{
+    if (!is_free_choice(net)) {
+        return false;
+    }
+    for (place_id p : net.places()) {
+        const auto& consumers = net.consumers(p);
+        if (consumers.size() <= 1) {
+            continue;
+        }
+        const std::int64_t first_weight = consumers.front().weight;
+        for (const transition_weight& consumer : consumers) {
+            if (consumer.weight != first_weight) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+std::string describe_free_choice_violation(const petri_net& net)
+{
+    for (place_id p : net.places()) {
+        const auto& consumers = net.consumers(p);
+        if (consumers.size() <= 1) {
+            continue;
+        }
+        for (const transition_weight& consumer : consumers) {
+            if (net.inputs(consumer.transition).size() != 1) {
+                return "place '" + net.place_name(p) + "' is a choice but its consumer '" +
+                       net.transition_name(consumer.transition) +
+                       "' has additional input places (free-choice requires every "
+                       "successor of a choice to have exactly one predecessor place)";
+            }
+        }
+    }
+    return "";
+}
+
+net_class classify(const petri_net& net)
+{
+    if (is_marked_graph(net)) {
+        return net_class::marked_graph;
+    }
+    if (is_conflict_free(net)) {
+        return net_class::conflict_free;
+    }
+    if (is_free_choice(net)) {
+        return net_class::free_choice;
+    }
+    return net_class::general;
+}
+
+std::string to_string(net_class c)
+{
+    switch (c) {
+    case net_class::marked_graph: return "marked graph";
+    case net_class::conflict_free: return "conflict-free net";
+    case net_class::free_choice: return "free-choice net";
+    case net_class::general: return "general Petri net";
+    }
+    return "unknown";
+}
+
+} // namespace fcqss::pn

@@ -1,0 +1,53 @@
+// fcqss — pn/net_class.hpp
+// Detection of the net subclasses from Sec. 2: Marked Graph, Conflict-Free
+// net, Free-Choice net, and Teruel's Equal Conflict net.  The QSS algorithm
+// accepts (extended) free-choice nets whose conflicts are equal conflicts.
+#ifndef FCQSS_PN_NET_CLASS_HPP
+#define FCQSS_PN_NET_CLASS_HPP
+
+#include <string>
+
+#include "pn/petri_net.hpp"
+
+namespace fcqss::pn {
+
+/// Marked Graph: every place has at most one producer and one consumer.
+/// Models concurrency and synchronization but no conflict; SDF graphs map
+/// onto marked graphs (Sec. 2).
+[[nodiscard]] bool is_marked_graph(const petri_net& net);
+
+/// Conflict-Free net: every place has at most one consumer.  T-reductions
+/// are conflict-free by construction.
+[[nodiscard]] bool is_conflict_free(const petri_net& net);
+
+/// Free-Choice net (the paper's definition): every arc from a place is
+/// either the unique outgoing arc of that place or the unique incoming arc
+/// of its target transition.  Equivalently, if |p postset| > 1 then every
+/// consumer of p has preset {p}.
+[[nodiscard]] bool is_free_choice(const petri_net& net);
+
+/// Equal-Conflict discipline on top of free choice: all consumers of a
+/// choice place have identical Pre vectors (same single place, same weight),
+/// so enabling one enables all — "the outcome of a choice depends on the
+/// value rather than on the arrival time of a token".
+[[nodiscard]] bool is_equal_conflict_free_choice(const petri_net& net);
+
+/// Explains the first free-choice violation found, or "" when free-choice.
+/// Used to produce actionable diagnostics for rejected inputs.
+[[nodiscard]] std::string describe_free_choice_violation(const petri_net& net);
+
+/// Coarsest-to-finest classification for reporting.
+enum class net_class {
+    marked_graph,
+    conflict_free,
+    free_choice,
+    general,
+};
+
+[[nodiscard]] net_class classify(const petri_net& net);
+
+[[nodiscard]] std::string to_string(net_class c);
+
+} // namespace fcqss::pn
+
+#endif // FCQSS_PN_NET_CLASS_HPP

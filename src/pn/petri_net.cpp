@@ -1,0 +1,123 @@
+#include "pn/petri_net.hpp"
+
+#include "base/error.hpp"
+
+namespace fcqss::pn {
+
+namespace {
+
+void check_place(const petri_net& net, place_id p)
+{
+    if (!p.valid() || p.index() >= net.place_count()) {
+        throw model_error("petri_net: place id out of range");
+    }
+}
+
+void check_transition(const petri_net& net, transition_id t)
+{
+    if (!t.valid() || t.index() >= net.transition_count()) {
+        throw model_error("petri_net: transition id out of range");
+    }
+}
+
+} // namespace
+
+const std::string& petri_net::place_name(place_id p) const
+{
+    check_place(*this, p);
+    return place_names_[p.index()];
+}
+
+const std::string& petri_net::transition_name(transition_id t) const
+{
+    check_transition(*this, t);
+    return transition_names_[t.index()];
+}
+
+place_id petri_net::find_place(const std::string& name) const
+{
+    const auto it = place_by_name_.find(name);
+    return it == place_by_name_.end() ? place_id{} : it->second;
+}
+
+transition_id petri_net::find_transition(const std::string& name) const
+{
+    const auto it = transition_by_name_.find(name);
+    return it == transition_by_name_.end() ? transition_id{} : it->second;
+}
+
+const std::vector<place_weight>& petri_net::inputs(transition_id t) const
+{
+    check_transition(*this, t);
+    return transition_inputs_[t.index()];
+}
+
+const std::vector<place_weight>& petri_net::outputs(transition_id t) const
+{
+    check_transition(*this, t);
+    return transition_outputs_[t.index()];
+}
+
+const std::vector<transition_weight>& petri_net::consumers(place_id p) const
+{
+    check_place(*this, p);
+    return place_consumers_[p.index()];
+}
+
+const std::vector<transition_weight>& petri_net::producers(place_id p) const
+{
+    check_place(*this, p);
+    return place_producers_[p.index()];
+}
+
+std::int64_t petri_net::arc_weight(place_id p, transition_id t) const
+{
+    check_place(*this, p);
+    check_transition(*this, t);
+    for (const place_weight& in : transition_inputs_[t.index()]) {
+        if (in.place == p) {
+            return in.weight;
+        }
+    }
+    return 0;
+}
+
+std::int64_t petri_net::arc_weight(transition_id t, place_id p) const
+{
+    check_place(*this, p);
+    check_transition(*this, t);
+    for (const place_weight& out : transition_outputs_[t.index()]) {
+        if (out.place == p) {
+            return out.weight;
+        }
+    }
+    return 0;
+}
+
+std::int64_t petri_net::initial_tokens(place_id p) const
+{
+    check_place(*this, p);
+    return initial_marking_[p.index()];
+}
+
+std::vector<place_id> petri_net::places() const
+{
+    std::vector<place_id> result;
+    result.reserve(place_count());
+    for (std::size_t i = 0; i < place_count(); ++i) {
+        result.emplace_back(static_cast<std::int32_t>(i));
+    }
+    return result;
+}
+
+std::vector<transition_id> petri_net::transitions() const
+{
+    std::vector<transition_id> result;
+    result.reserve(transition_count());
+    for (std::size_t i = 0; i < transition_count(); ++i) {
+        result.emplace_back(static_cast<std::int32_t>(i));
+    }
+    return result;
+}
+
+} // namespace fcqss::pn

@@ -1,0 +1,113 @@
+// fcqss — pn/petri_net.hpp
+// The paper's underlying formal model (Sec. 2): a weighted place/transition
+// net N = (P, T, F) together with an initial marking.  Instances are built
+// through pn::net_builder and immutable afterwards, so analyses can cache
+// structural facts safely.
+#ifndef FCQSS_PN_PETRI_NET_HPP
+#define FCQSS_PN_PETRI_NET_HPP
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/ids.hpp"
+
+namespace fcqss::pn {
+
+// The strong index types live in fcqss::; re-export them so dependent
+// modules can spell pn::place_id / pn::transition_id.
+using fcqss::place_id;
+using fcqss::transition_id;
+
+/// One weighted arc endpoint seen from a transition: the place and F weight.
+struct place_weight {
+    place_id place;
+    std::int64_t weight = 1;
+
+    friend bool operator==(const place_weight&, const place_weight&) = default;
+};
+
+/// One weighted arc endpoint seen from a place: the transition and F weight.
+struct transition_weight {
+    transition_id transition;
+    std::int64_t weight = 1;
+
+    friend bool operator==(const transition_weight&, const transition_weight&) = default;
+};
+
+/// Immutable weighted Petri net with named nodes and an initial marking.
+///
+/// Terminology follows the paper: for a node x, the *preset* is the set of
+/// nodes with an arc into x and the *postset* the set of nodes x arcs into.
+/// A place with |postset| > 1 is a *choice* (conflict); with |preset| > 1 a
+/// *merge*.  Transitions/places with empty presets are *sources*, with empty
+/// postsets *sinks*.
+class petri_net {
+public:
+    /// Number of places |P|.
+    [[nodiscard]] std::size_t place_count() const noexcept { return place_names_.size(); }
+    /// Number of transitions |T|.
+    [[nodiscard]] std::size_t transition_count() const noexcept
+    {
+        return transition_names_.size();
+    }
+    /// Number of distinct arcs in F.
+    [[nodiscard]] std::size_t arc_count() const noexcept { return arc_count_; }
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+    [[nodiscard]] const std::string& place_name(place_id p) const;
+    [[nodiscard]] const std::string& transition_name(transition_id t) const;
+
+    /// Looks a place up by name; the id is invalid when absent.
+    [[nodiscard]] place_id find_place(const std::string& name) const;
+    /// Looks a transition up by name; the id is invalid when absent.
+    [[nodiscard]] transition_id find_transition(const std::string& name) const;
+
+    /// Input places of t with weights: the vector Pre[., t].
+    [[nodiscard]] const std::vector<place_weight>& inputs(transition_id t) const;
+    /// Output places of t with weights: the vector Post[., t].
+    [[nodiscard]] const std::vector<place_weight>& outputs(transition_id t) const;
+    /// Transitions that consume from p (the postset of p).
+    [[nodiscard]] const std::vector<transition_weight>& consumers(place_id p) const;
+    /// Transitions that produce into p (the preset of p).
+    [[nodiscard]] const std::vector<transition_weight>& producers(place_id p) const;
+
+    /// F(p, t): the arc weight from place to transition, 0 when absent.
+    [[nodiscard]] std::int64_t arc_weight(place_id p, transition_id t) const;
+    /// F(t, p): the arc weight from transition to place, 0 when absent.
+    [[nodiscard]] std::int64_t arc_weight(transition_id t, place_id p) const;
+
+    /// Initial token count of place p.
+    [[nodiscard]] std::int64_t initial_tokens(place_id p) const;
+    /// The full initial marking as a vector indexed by place.
+    [[nodiscard]] const std::vector<std::int64_t>& initial_marking_vector() const noexcept
+    {
+        return initial_marking_;
+    }
+
+    /// All place ids, 0..|P|-1 (convenience for range-for).
+    [[nodiscard]] std::vector<place_id> places() const;
+    /// All transition ids, 0..|T|-1.
+    [[nodiscard]] std::vector<transition_id> transitions() const;
+
+private:
+    friend class net_builder;
+
+    std::string name_;
+    std::vector<std::string> place_names_;
+    std::vector<std::string> transition_names_;
+    std::unordered_map<std::string, place_id> place_by_name_;
+    std::unordered_map<std::string, transition_id> transition_by_name_;
+    std::vector<std::vector<place_weight>> transition_inputs_;
+    std::vector<std::vector<place_weight>> transition_outputs_;
+    std::vector<std::vector<transition_weight>> place_consumers_;
+    std::vector<std::vector<transition_weight>> place_producers_;
+    std::vector<std::int64_t> initial_marking_;
+    std::size_t arc_count_ = 0;
+};
+
+} // namespace fcqss::pn
+
+#endif // FCQSS_PN_PETRI_NET_HPP

@@ -1,0 +1,94 @@
+#include "pn/properties.hpp"
+
+#include "graph/digraph.hpp"
+#include "graph/scc.hpp"
+#include "pn/coverability.hpp"
+
+namespace fcqss::pn {
+
+std::string to_string(verdict v)
+{
+    switch (v) {
+    case verdict::yes: return "yes";
+    case verdict::no: return "no";
+    case verdict::unknown: return "unknown";
+    }
+    return "unknown";
+}
+
+verdict check_k_bounded(const petri_net& net, std::int64_t k)
+{
+    const coverability_tree tree = build_coverability_tree(net);
+    if (tree.truncated) {
+        return verdict::unknown;
+    }
+    return is_k_bounded(tree, k) ? verdict::yes : verdict::no;
+}
+
+verdict check_safe(const petri_net& net)
+{
+    return check_k_bounded(net, 1);
+}
+
+verdict check_deadlock_free(const petri_net& net, const reachability_options& options)
+{
+    const reachability_graph graph = explore(net, options);
+    if (find_deadlock(net, graph).has_value()) {
+        return verdict::no;
+    }
+    return graph.truncated ? verdict::unknown : verdict::yes;
+}
+
+verdict check_live(const petri_net& net, const reachability_options& options)
+{
+    const reachability_graph graph = explore(net, options);
+    if (graph.truncated) {
+        return verdict::unknown;
+    }
+    if (graph.nodes.empty() || net.transition_count() == 0) {
+        return verdict::no;
+    }
+
+    // Liveness on a finite reachability graph: t is live iff every marking
+    // can reach a marking that enables t.  Equivalently, in the condensation
+    // of the state graph every *bottom* SCC must contain an edge labelled t.
+    graph::digraph state_graph(graph.size());
+    for (std::size_t v = 0; v < graph.size(); ++v) {
+        for (const auto& [t, w] : graph.nodes[v].successors) {
+            state_graph.add_edge(v, w);
+        }
+    }
+    const graph::scc_result sccs = graph::strongly_connected_components(state_graph);
+
+    // A bottom SCC has no edge leaving it.
+    std::vector<bool> is_bottom(sccs.component_count(), true);
+    for (std::size_t v = 0; v < graph.size(); ++v) {
+        for (const auto& [t, w] : graph.nodes[v].successors) {
+            if (sccs.component[v] != sccs.component[w]) {
+                is_bottom[sccs.component[v]] = false;
+            }
+        }
+    }
+
+    for (std::size_t c = 0; c < sccs.component_count(); ++c) {
+        if (!is_bottom[c]) {
+            continue;
+        }
+        std::vector<bool> fires_in_scc(net.transition_count(), false);
+        for (std::size_t v : sccs.members[c]) {
+            for (const auto& [t, w] : graph.nodes[v].successors) {
+                if (sccs.component[w] == c) {
+                    fires_in_scc[t.index()] = true;
+                }
+            }
+        }
+        for (bool fired : fires_in_scc) {
+            if (!fired) {
+                return verdict::no;
+            }
+        }
+    }
+    return verdict::yes;
+}
+
+} // namespace fcqss::pn

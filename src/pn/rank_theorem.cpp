@@ -1,0 +1,98 @@
+#include "pn/rank_theorem.hpp"
+
+#include <numeric>
+
+#include "base/error.hpp"
+#include "linalg/gauss.hpp"
+#include "pn/incidence.hpp"
+#include "pn/invariants.hpp"
+#include "pn/net_class.hpp"
+
+namespace fcqss::pn {
+
+namespace {
+
+// Union-find over the combined node space: places first, then transitions.
+class union_find {
+public:
+    explicit union_find(std::size_t n) : parent_(n)
+    {
+        std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+    }
+
+    std::size_t find(std::size_t x)
+    {
+        while (parent_[x] != x) {
+            parent_[x] = parent_[parent_[x]];
+            x = parent_[x];
+        }
+        return x;
+    }
+
+    void merge(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+private:
+    std::vector<std::size_t> parent_;
+};
+
+} // namespace
+
+std::vector<cluster> clusters_of(const petri_net& net)
+{
+    const std::size_t places = net.place_count();
+    union_find groups(places + net.transition_count());
+    for (transition_id t : net.transitions()) {
+        for (const place_weight& in : net.inputs(t)) {
+            groups.merge(in.place.index(), places + t.index());
+        }
+    }
+
+    std::vector<cluster> result;
+    std::vector<std::size_t> cluster_of_root(places + net.transition_count(), SIZE_MAX);
+    const auto cluster_index = [&](std::size_t node) {
+        const std::size_t root = groups.find(node);
+        if (cluster_of_root[root] == SIZE_MAX) {
+            cluster_of_root[root] = result.size();
+            result.emplace_back();
+        }
+        return cluster_of_root[root];
+    };
+    for (place_id p : net.places()) {
+        result[cluster_index(p.index())].places.push_back(p);
+    }
+    for (transition_id t : net.transitions()) {
+        result[cluster_index(places + t.index())].transitions.push_back(t);
+    }
+    return result;
+}
+
+rank_check check_rank_theorem(const petri_net& net)
+{
+    if (!is_free_choice(net)) {
+        throw domain_error("check_rank_theorem: '" + net.name() + "' is not free-choice");
+    }
+    rank_check result;
+
+    const auto t_inv = t_invariants(net);
+    result.has_positive_t_invariant = transitions_uncovered_by(net, t_inv).empty() &&
+                                      !t_inv.empty();
+
+    const auto p_inv = p_invariants(net);
+    std::vector<bool> covered(net.place_count(), false);
+    for (const linalg::int_vector& y : p_inv) {
+        for (std::size_t i : linalg::support(y)) {
+            covered[i] = true;
+        }
+    }
+    result.has_positive_p_invariant =
+        !p_inv.empty() &&
+        std::all_of(covered.begin(), covered.end(), [](bool c) { return c; });
+
+    result.rank = linalg::rank(incidence_matrix(net));
+    result.cluster_count = clusters_of(net).size();
+    result.rank_condition = result.cluster_count >= 1 &&
+                            result.rank == result.cluster_count - 1;
+    return result;
+}
+
+} // namespace fcqss::pn

@@ -1,0 +1,54 @@
+// fcqss — pn/rank_theorem.hpp
+// The Rank Theorem of free-choice structure theory (Desel/Esparza; the same
+// theory Hack's MG decomposition and Teruel's Equal Conflict work — both
+// cited by the paper — belong to): a free-choice net is WELL-FORMED (some
+// marking makes it live and bounded) iff
+//   (1) it has a strictly positive T-invariant,
+//   (2) it has a strictly positive P-invariant, and
+//   (3) rank(C) = |clusters| - 1,
+// where a cluster is the smallest set closed under "place p and transition t
+// belong together when p is an input of t".  Well-formedness applies to
+// strongly connected autonomous nets; the QSS algorithm deliberately handles
+// the complementary reactive class (nets with sources/sinks), so this module
+// rounds out the structure-theory toolbox for the cases QSS excludes.
+#ifndef FCQSS_PN_RANK_THEOREM_HPP
+#define FCQSS_PN_RANK_THEOREM_HPP
+
+#include <string>
+#include <vector>
+
+#include "pn/petri_net.hpp"
+
+namespace fcqss::pn {
+
+/// A cluster: places and transitions grouped by shared input arcs.
+struct cluster {
+    std::vector<place_id> places;
+    std::vector<transition_id> transitions;
+};
+
+/// The cluster partition of the net.
+[[nodiscard]] std::vector<cluster> clusters_of(const petri_net& net);
+
+/// Result of the rank-theorem evaluation.
+struct rank_check {
+    bool has_positive_t_invariant = false;
+    bool has_positive_p_invariant = false;
+    std::size_t rank = 0;
+    std::size_t cluster_count = 0;
+    bool rank_condition = false;
+
+    /// The theorem's verdict (meaningful for strongly connected FC nets).
+    [[nodiscard]] bool well_formed() const noexcept
+    {
+        return has_positive_t_invariant && has_positive_p_invariant && rank_condition;
+    }
+};
+
+/// Evaluates the three conditions.  Throws domain_error when the net is not
+/// free-choice (the theorem does not apply).
+[[nodiscard]] rank_check check_rank_theorem(const petri_net& net);
+
+} // namespace fcqss::pn
+
+#endif // FCQSS_PN_RANK_THEOREM_HPP

@@ -1,0 +1,135 @@
+#include "pn/reachability.hpp"
+
+#include <deque>
+
+#include "base/error.hpp"
+
+namespace fcqss::pn {
+
+reachability_graph explore(const petri_net& net, const reachability_options& options)
+{
+    reachability_graph graph;
+    std::unordered_map<marking, std::size_t, marking_hash> index_of;
+
+    const marking m0 = initial_marking(net);
+    graph.nodes.push_back({m0, {}});
+    index_of.emplace(m0, 0);
+
+    std::deque<std::size_t> frontier{0};
+    while (!frontier.empty()) {
+        const std::size_t node_index = frontier.front();
+        frontier.pop_front();
+        // Copy the marking: the nodes vector may reallocate while we append.
+        const marking current = graph.nodes[node_index].state;
+        for (transition_id t : net.transitions()) {
+            if (!is_enabled(net, current, t)) {
+                continue;
+            }
+            marking next = current;
+            fire(net, next, t);
+
+            bool over_cap = false;
+            for (std::int64_t tokens : next.vector()) {
+                if (tokens > options.max_tokens_per_place) {
+                    over_cap = true;
+                    break;
+                }
+            }
+            if (over_cap) {
+                graph.truncated = true;
+                continue;
+            }
+
+            const auto [it, inserted] = index_of.emplace(next, graph.nodes.size());
+            if (inserted) {
+                if (graph.nodes.size() >= options.max_markings) {
+                    graph.truncated = true;
+                    index_of.erase(it);
+                    continue;
+                }
+                graph.nodes.push_back({std::move(next), {}});
+                frontier.push_back(it->second);
+            }
+            graph.nodes[node_index].successors.emplace_back(t, it->second);
+        }
+    }
+    return graph;
+}
+
+std::optional<marking> find_deadlock(const petri_net& net, const reachability_graph& graph)
+{
+    for (const reachability_node& node : graph.nodes) {
+        if (is_deadlocked(net, node.state)) {
+            return node.state;
+        }
+    }
+    return std::nullopt;
+}
+
+bool is_reachable(const reachability_graph& graph, const marking& target)
+{
+    for (const reachability_node& node : graph.nodes) {
+        if (node.state == target) {
+            return true;
+        }
+    }
+    return false;
+}
+
+std::optional<firing_sequence> shortest_path_to(const petri_net& net,
+                                                const reachability_graph& graph,
+                                                const marking& target)
+{
+    (void)net;
+    if (graph.nodes.empty()) {
+        return std::nullopt;
+    }
+    if (graph.nodes.front().state == target) {
+        return firing_sequence{};
+    }
+    // BFS over the already-built graph, recording the incoming edge.
+    constexpr std::size_t unseen = static_cast<std::size_t>(-1);
+    std::vector<std::size_t> parent(graph.nodes.size(), unseen);
+    std::vector<transition_id> via(graph.nodes.size());
+    std::deque<std::size_t> frontier{0};
+    parent[0] = 0;
+    while (!frontier.empty()) {
+        const std::size_t v = frontier.front();
+        frontier.pop_front();
+        for (const auto& [t, w] : graph.nodes[v].successors) {
+            if (parent[w] != unseen) {
+                continue;
+            }
+            parent[w] = v;
+            via[w] = t;
+            if (graph.nodes[w].state == target) {
+                firing_sequence path;
+                for (std::size_t at = w; at != 0; at = parent[at]) {
+                    path.push_back(via[at]);
+                }
+                return firing_sequence(path.rbegin(), path.rend());
+            }
+            frontier.push_back(w);
+        }
+    }
+    return std::nullopt;
+}
+
+std::vector<std::int64_t> place_bounds(const reachability_graph& graph)
+{
+    if (graph.nodes.empty()) {
+        return {};
+    }
+    std::vector<std::int64_t> bounds(graph.nodes.front().state.size(), 0);
+    for (const reachability_node& node : graph.nodes) {
+        const auto& tokens = node.state.vector();
+        for (std::size_t i = 0; i < tokens.size(); ++i) {
+            if (tokens[i] > bounds[i]) {
+                bounds[i] = tokens[i];
+            }
+        }
+    }
+    return bounds;
+}
+
+} // namespace fcqss::pn

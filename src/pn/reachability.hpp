@@ -1,0 +1,68 @@
+// fcqss — pn/reachability.hpp
+// Explicit-state reachability graph with an exploration budget.  Used for
+// deadlock checks, liveness of bounded nets and for cross-validating the
+// structural analyses in tests.
+#ifndef FCQSS_PN_REACHABILITY_HPP
+#define FCQSS_PN_REACHABILITY_HPP
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "pn/firing.hpp"
+#include "pn/marking.hpp"
+#include "pn/petri_net.hpp"
+
+namespace fcqss::pn {
+
+/// Limits for explicit exploration.  `max_markings` bounds the state count;
+/// `max_tokens_per_place` aborts exploration of (necessarily unbounded) runs
+/// where some place exceeds the cap.
+struct reachability_options {
+    std::size_t max_markings = 100000;
+    std::int64_t max_tokens_per_place = 1 << 20;
+};
+
+/// One explored marking and its outgoing firings.
+struct reachability_node {
+    marking state;
+    /// (transition fired, index of successor node), ascending by transition.
+    std::vector<std::pair<transition_id, std::size_t>> successors;
+};
+
+/// The (partial) reachability graph from the initial marking.
+struct reachability_graph {
+    std::vector<reachability_node> nodes;
+    /// True when exploration stopped because a budget was hit; every
+    /// "for all reachable markings" verdict is then only valid for the
+    /// explored region.
+    bool truncated = false;
+
+    [[nodiscard]] std::size_t size() const noexcept { return nodes.size(); }
+};
+
+/// Breadth-first exploration from the net's initial marking.
+[[nodiscard]] reachability_graph explore(const petri_net& net,
+                                         const reachability_options& options = {});
+
+/// A reachable dead marking, if exploration finds one (nullopt when the
+/// explored region is deadlock-free; see reachability_graph::truncated).
+[[nodiscard]] std::optional<marking> find_deadlock(const petri_net& net,
+                                                   const reachability_graph& graph);
+
+/// True when `target` appears in the explored region.
+[[nodiscard]] bool is_reachable(const reachability_graph& graph, const marking& target);
+
+/// A shortest firing sequence from the initial marking to `target`, or
+/// nullopt when not present in the explored region.
+[[nodiscard]] std::optional<firing_sequence>
+shortest_path_to(const petri_net& net, const reachability_graph& graph,
+                 const marking& target);
+
+/// Max token count per place over the explored region (bounds witness).
+[[nodiscard]] std::vector<std::int64_t> place_bounds(const reachability_graph& graph);
+
+} // namespace fcqss::pn
+
+#endif // FCQSS_PN_REACHABILITY_HPP

@@ -1,0 +1,252 @@
+#include "pn/siphons.hpp"
+
+#include <algorithm>
+
+#include "base/error.hpp"
+
+namespace fcqss::pn {
+
+namespace {
+
+// Membership bitmap from a place set.
+std::vector<bool> to_bitmap(const petri_net& net, const place_set& places)
+{
+    std::vector<bool> in_set(net.place_count(), false);
+    for (place_id p : places) {
+        if (!p.valid() || p.index() >= net.place_count()) {
+            throw model_error("siphons: place id out of range");
+        }
+        in_set[p.index()] = true;
+    }
+    return in_set;
+}
+
+place_set from_bitmap(const std::vector<bool>& bitmap)
+{
+    place_set result;
+    for (std::size_t i = 0; i < bitmap.size(); ++i) {
+        if (bitmap[i]) {
+            result.emplace_back(static_cast<std::int32_t>(i));
+        }
+    }
+    return result;
+}
+
+} // namespace
+
+bool is_siphon(const petri_net& net, const place_set& places)
+{
+    if (places.empty()) {
+        return false;
+    }
+    const std::vector<bool> in_set = to_bitmap(net, places);
+    // Every transition producing into the set must also consume from it.
+    for (place_id p : places) {
+        for (const transition_weight& producer : net.producers(p)) {
+            bool consumes_from_set = false;
+            for (const place_weight& in : net.inputs(producer.transition)) {
+                if (in_set[in.place.index()]) {
+                    consumes_from_set = true;
+                    break;
+                }
+            }
+            if (!consumes_from_set) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+bool is_trap(const petri_net& net, const place_set& places)
+{
+    if (places.empty()) {
+        return false;
+    }
+    const std::vector<bool> in_set = to_bitmap(net, places);
+    // Every transition consuming from the set must also produce into it.
+    for (place_id p : places) {
+        for (const transition_weight& consumer : net.consumers(p)) {
+            bool produces_into_set = false;
+            for (const place_weight& out : net.outputs(consumer.transition)) {
+                if (in_set[out.place.index()]) {
+                    produces_into_set = true;
+                    break;
+                }
+            }
+            if (!produces_into_set) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+std::vector<place_set> minimal_siphons(const petri_net& net, std::size_t max_results)
+{
+    // Enumerate candidate seeds and close each seed into the smallest siphon
+    // containing it, then keep the inclusion-minimal closures.  The closure
+    // of {p}: whenever a producer of a member does not consume from the set,
+    // one of the producer's input places must be added; we branch over that
+    // choice (bounded depth-first search).
+    std::vector<place_set> results;
+
+    struct frame {
+        std::vector<bool> in_set;
+    };
+
+    const auto already_have_subset = [&](const std::vector<bool>& candidate) {
+        for (const place_set& existing : results) {
+            bool subset = true;
+            for (place_id p : existing) {
+                if (!candidate[p.index()]) {
+                    subset = false;
+                    break;
+                }
+            }
+            if (subset) {
+                return true;
+            }
+        }
+        return false;
+    };
+
+    const auto record = [&](const std::vector<bool>& bitmap) {
+        place_set candidate = from_bitmap(bitmap);
+        // Drop supersets of known siphons; remove known siphons that are
+        // supersets of the new one.
+        for (const place_set& existing : results) {
+            if (std::includes(candidate.begin(), candidate.end(), existing.begin(),
+                              existing.end())) {
+                return;
+            }
+        }
+        std::erase_if(results, [&](const place_set& existing) {
+            return std::includes(existing.begin(), existing.end(), candidate.begin(),
+                                 candidate.end());
+        });
+        results.push_back(std::move(candidate));
+    };
+
+    for (place_id seed : net.places()) {
+        std::vector<frame> stack;
+        frame initial;
+        initial.in_set.assign(net.place_count(), false);
+        initial.in_set[seed.index()] = true;
+        stack.push_back(std::move(initial));
+
+        std::size_t expansions = 0;
+        while (!stack.empty() && results.size() < max_results &&
+               expansions < 16 * max_results) {
+            ++expansions;
+            frame current = std::move(stack.back());
+            stack.pop_back();
+
+            // Find a violation: a producer of a member that does not consume
+            // from the set.
+            transition_id violating;
+            for (std::size_t pi = 0; pi < current.in_set.size() && !violating.valid();
+                 ++pi) {
+                if (!current.in_set[pi]) {
+                    continue;
+                }
+                const place_id p{static_cast<std::int32_t>(pi)};
+                for (const transition_weight& producer : net.producers(p)) {
+                    bool consumes = false;
+                    for (const place_weight& in : net.inputs(producer.transition)) {
+                        if (current.in_set[in.place.index()]) {
+                            consumes = true;
+                            break;
+                        }
+                    }
+                    if (!consumes) {
+                        violating = producer.transition;
+                        break;
+                    }
+                }
+            }
+
+            if (!violating.valid()) {
+                record(current.in_set);
+                continue;
+            }
+
+            const auto& repair_choices = net.inputs(violating);
+            if (repair_choices.empty()) {
+                // A source transition produces into the set: no siphon can
+                // contain this branch (source transitions never consume).
+                continue;
+            }
+            if (already_have_subset(current.in_set)) {
+                continue;
+            }
+            for (const place_weight& choice : repair_choices) {
+                if (current.in_set[choice.place.index()]) {
+                    continue;
+                }
+                frame next = current;
+                next.in_set[choice.place.index()] = true;
+                stack.push_back(std::move(next));
+            }
+        }
+    }
+
+    std::sort(results.begin(), results.end());
+    results.erase(std::unique(results.begin(), results.end()), results.end());
+    return results;
+}
+
+place_set maximal_trap_within(const petri_net& net, const place_set& places)
+{
+    // Standard fixpoint: repeatedly delete places whose consumer fails to
+    // produce back into the current set.
+    std::vector<bool> in_set = to_bitmap(net, places);
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t pi = 0; pi < in_set.size(); ++pi) {
+            if (!in_set[pi]) {
+                continue;
+            }
+            const place_id p{static_cast<std::int32_t>(pi)};
+            for (const transition_weight& consumer : net.consumers(p)) {
+                bool produces_back = false;
+                for (const place_weight& out : net.outputs(consumer.transition)) {
+                    if (in_set[out.place.index()]) {
+                        produces_back = true;
+                        break;
+                    }
+                }
+                if (!produces_back) {
+                    in_set[pi] = false;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+    }
+    return from_bitmap(in_set);
+}
+
+bool is_marked_set(const petri_net& net, const place_set& places)
+{
+    for (place_id p : places) {
+        if (net.initial_tokens(p) > 0) {
+            return true;
+        }
+    }
+    return false;
+}
+
+bool has_commoner_property(const petri_net& net)
+{
+    for (const place_set& siphon : minimal_siphons(net)) {
+        const place_set trap = maximal_trap_within(net, siphon);
+        if (trap.empty() || !is_marked_set(net, trap)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace fcqss::pn

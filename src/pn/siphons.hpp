@@ -1,0 +1,46 @@
+// fcqss — pn/siphons.hpp
+// Siphon and trap analysis.  Hack's MG decomposition — which the paper's
+// Reduction Algorithm modifies — comes from the same structure theory in
+// which Commoner's theorem characterizes liveness of free-choice nets:
+// a live FC net has a marked trap inside every siphon.  This module provides
+// that classical check as a complement to the QSS diagnostics.
+#ifndef FCQSS_PN_SIPHONS_HPP
+#define FCQSS_PN_SIPHONS_HPP
+
+#include <vector>
+
+#include "pn/petri_net.hpp"
+
+namespace fcqss::pn {
+
+/// A set of places, ascending by id.
+using place_set = std::vector<place_id>;
+
+/// True when S is a siphon: preset(S) is a subset of postset(S) — once a
+/// siphon empties it stays empty.
+[[nodiscard]] bool is_siphon(const petri_net& net, const place_set& places);
+
+/// True when S is a trap: postset(S) is a subset of preset(S) — once marked
+/// it stays marked.
+[[nodiscard]] bool is_trap(const petri_net& net, const place_set& places);
+
+/// All minimal (non-empty) siphons, by place-set inclusion.  Exponential in
+/// the worst case; `max_results` caps the enumeration.
+[[nodiscard]] std::vector<place_set> minimal_siphons(const petri_net& net,
+                                                     std::size_t max_results = 4096);
+
+/// The largest trap contained in `places` (possibly empty).
+[[nodiscard]] place_set maximal_trap_within(const petri_net& net, const place_set& places);
+
+/// True when `places` contains a token under the net's initial marking.
+[[nodiscard]] bool is_marked_set(const petri_net& net, const place_set& places);
+
+/// Commoner's property: every minimal siphon contains an initially marked
+/// trap.  For free-choice nets this is equivalent to liveness of (N, mu0)
+/// (Commoner's theorem).  Nets with source transitions or source places are
+/// outside the theorem's hypotheses; callers should check those separately.
+[[nodiscard]] bool has_commoner_property(const petri_net& net);
+
+} // namespace fcqss::pn
+
+#endif // FCQSS_PN_SIPHONS_HPP

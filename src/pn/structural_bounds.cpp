@@ -1,0 +1,37 @@
+#include "pn/structural_bounds.hpp"
+
+#include "pn/invariants.hpp"
+
+namespace fcqss::pn {
+
+std::vector<std::optional<std::int64_t>> structural_place_bounds(const petri_net& net)
+{
+    std::vector<std::optional<std::int64_t>> bounds(net.place_count());
+    const auto invariants = p_invariants(net);
+    const auto& m0 = net.initial_marking_vector();
+    for (const linalg::int_vector& y : invariants) {
+        const std::int64_t weighted_total = weighted_token_sum(y, m0);
+        for (std::size_t p = 0; p < net.place_count(); ++p) {
+            if (y[p] <= 0) {
+                continue;
+            }
+            const std::int64_t bound = weighted_total / y[p];
+            if (!bounds[p].has_value() || bound < *bounds[p]) {
+                bounds[p] = bound;
+            }
+        }
+    }
+    return bounds;
+}
+
+bool is_structurally_bounded(const petri_net& net)
+{
+    for (const auto& bound : structural_place_bounds(net)) {
+        if (!bound.has_value()) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace fcqss::pn

@@ -1,0 +1,30 @@
+// fcqss — pn/structural_bounds.hpp
+// Structural (marking-independent-execution) place bounds from P-invariants:
+// if y is a P-invariant with y[p] > 0, then for every reachable marking
+// m(p) <= (y . m0) / y[p].  These bounds hold for ARBITRARY firing — they
+// complement the schedule-relative bounds of qss::schedule_buffer_bounds
+// and witness the conservative-component structure of a net.
+#ifndef FCQSS_PN_STRUCTURAL_BOUNDS_HPP
+#define FCQSS_PN_STRUCTURAL_BOUNDS_HPP
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "pn/petri_net.hpp"
+
+namespace fcqss::pn {
+
+/// Per-place structural bound, or nullopt when no P-invariant covers the
+/// place (the place is not structurally bounded; it may still be bounded
+/// under a schedule).
+[[nodiscard]] std::vector<std::optional<std::int64_t>>
+structural_place_bounds(const petri_net& net);
+
+/// True when every place has a structural bound (the net is structurally
+/// bounded = conservative-covered), regardless of how transitions fire.
+[[nodiscard]] bool is_structurally_bounded(const petri_net& net);
+
+} // namespace fcqss::pn
+
+#endif // FCQSS_PN_STRUCTURAL_BOUNDS_HPP

@@ -1,0 +1,142 @@
+#include "pn/structure.hpp"
+
+#include <algorithm>
+
+#include "graph/scc.hpp"
+#include "graph/traversal.hpp"
+
+namespace fcqss::pn {
+
+std::vector<transition_id> source_transitions(const petri_net& net)
+{
+    std::vector<transition_id> result;
+    for (transition_id t : net.transitions()) {
+        if (net.inputs(t).empty()) {
+            result.push_back(t);
+        }
+    }
+    return result;
+}
+
+std::vector<transition_id> sink_transitions(const petri_net& net)
+{
+    std::vector<transition_id> result;
+    for (transition_id t : net.transitions()) {
+        if (net.outputs(t).empty()) {
+            result.push_back(t);
+        }
+    }
+    return result;
+}
+
+std::vector<place_id> source_places(const petri_net& net)
+{
+    std::vector<place_id> result;
+    for (place_id p : net.places()) {
+        if (net.producers(p).empty()) {
+            result.push_back(p);
+        }
+    }
+    return result;
+}
+
+std::vector<place_id> sink_places(const petri_net& net)
+{
+    std::vector<place_id> result;
+    for (place_id p : net.places()) {
+        if (net.consumers(p).empty()) {
+            result.push_back(p);
+        }
+    }
+    return result;
+}
+
+std::vector<place_id> choice_places(const petri_net& net)
+{
+    std::vector<place_id> result;
+    for (place_id p : net.places()) {
+        if (net.consumers(p).size() > 1) {
+            result.push_back(p);
+        }
+    }
+    return result;
+}
+
+std::vector<place_id> merge_places(const petri_net& net)
+{
+    std::vector<place_id> result;
+    for (place_id p : net.places()) {
+        if (net.producers(p).size() > 1) {
+            result.push_back(p);
+        }
+    }
+    return result;
+}
+
+bool in_equal_conflict(const petri_net& net, transition_id a, transition_id b)
+{
+    const std::vector<place_weight>& in_a = net.inputs(a);
+    const std::vector<place_weight>& in_b = net.inputs(b);
+    if (in_a.empty() || in_b.empty() || in_a.size() != in_b.size()) {
+        return false;
+    }
+    // Compare Pre vectors as sorted (place, weight) lists.
+    auto sorted = [](std::vector<place_weight> v) {
+        std::sort(v.begin(), v.end(), [](const place_weight& x, const place_weight& y) {
+            return x.place < y.place;
+        });
+        return v;
+    };
+    return sorted(in_a) == sorted(in_b);
+}
+
+bool is_conflict_transition(const petri_net& net, transition_id t)
+{
+    for (const place_weight& in : net.inputs(t)) {
+        if (net.consumers(in.place).size() > 1) {
+            return true;
+        }
+    }
+    return false;
+}
+
+graph::digraph to_digraph(const petri_net& net)
+{
+    const std::size_t place_count = net.place_count();
+    graph::digraph g(place_count + net.transition_count());
+    for (transition_id t : net.transitions()) {
+        const std::size_t tv = place_count + t.index();
+        for (const place_weight& in : net.inputs(t)) {
+            g.add_edge(in.place.index(), tv);
+        }
+        for (const place_weight& out : net.outputs(t)) {
+            g.add_edge(tv, out.place.index());
+        }
+    }
+    return g;
+}
+
+bool is_strongly_connected(const petri_net& net)
+{
+    return graph::is_strongly_connected(to_digraph(net));
+}
+
+bool is_weakly_connected(const petri_net& net)
+{
+    return graph::is_weakly_connected(to_digraph(net));
+}
+
+net_statistics statistics(const petri_net& net)
+{
+    net_statistics stats;
+    stats.places = net.place_count();
+    stats.transitions = net.transition_count();
+    stats.arcs = net.arc_count();
+    stats.choices = choice_places(net).size();
+    stats.merges = merge_places(net).size();
+    stats.source_transitions = source_transitions(net).size();
+    stats.sink_transitions = sink_transitions(net).size();
+    return stats;
+}
+
+} // namespace fcqss::pn

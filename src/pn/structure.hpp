@@ -1,0 +1,71 @@
+// fcqss — pn/structure.hpp
+// Structural queries: sources/sinks, choices/merges, the Equal Conflict
+// Relation (Teruel), and graph views of the net.
+#ifndef FCQSS_PN_STRUCTURE_HPP
+#define FCQSS_PN_STRUCTURE_HPP
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "pn/petri_net.hpp"
+
+namespace fcqss::pn {
+
+/// Transitions with empty preset — the paper models environment inputs
+/// (e.g. the ATM server's Cell and Tick) as source transitions.
+[[nodiscard]] std::vector<transition_id> source_transitions(const petri_net& net);
+
+/// Transitions with empty postset (outputs to the environment).
+[[nodiscard]] std::vector<transition_id> sink_transitions(const petri_net& net);
+
+/// Places with empty preset.  Inside a T-reduction these signal finite
+/// execution (Fig. 7): nothing can replenish them.
+[[nodiscard]] std::vector<place_id> source_places(const petri_net& net);
+
+/// Places with empty postset.
+[[nodiscard]] std::vector<place_id> sink_places(const petri_net& net);
+
+/// Choice (conflict) places: |p postset| > 1.  These model data-dependent
+/// control (if-then-else, while-do).
+[[nodiscard]] std::vector<place_id> choice_places(const petri_net& net);
+
+/// Merge places: |p preset| > 1.
+[[nodiscard]] std::vector<place_id> merge_places(const petri_net& net);
+
+/// The Equal Conflict Relation Q (Sec. 2): Q(t, t') == 1 iff
+/// Pre[., t] == Pre[., t'] != 0 — identical non-empty input-place vectors,
+/// so whenever one is enabled both are.
+[[nodiscard]] bool in_equal_conflict(const petri_net& net, transition_id a,
+                                     transition_id b);
+
+/// True when t consumes from some choice place (t participates in a
+/// conflict).  In a free-choice net this coincides with |ECS(t)| > 1.
+[[nodiscard]] bool is_conflict_transition(const petri_net& net, transition_id t);
+
+/// Bipartite digraph view: vertices [0, |P|) are places,
+/// [|P|, |P|+|T|) are transitions.
+[[nodiscard]] graph::digraph to_digraph(const petri_net& net);
+
+/// True when the net's graph is strongly connected.
+[[nodiscard]] bool is_strongly_connected(const petri_net& net);
+
+/// True when the net's graph is weakly connected.
+[[nodiscard]] bool is_weakly_connected(const petri_net& net);
+
+/// Summary statistics used by the experiment reports (Sec. 5 quotes
+/// "49 transitions and 41 places, of which 11 non-deterministic choices").
+struct net_statistics {
+    std::size_t places = 0;
+    std::size_t transitions = 0;
+    std::size_t arcs = 0;
+    std::size_t choices = 0;
+    std::size_t merges = 0;
+    std::size_t source_transitions = 0;
+    std::size_t sink_transitions = 0;
+};
+
+[[nodiscard]] net_statistics statistics(const petri_net& net);
+
+} // namespace fcqss::pn
+
+#endif // FCQSS_PN_STRUCTURE_HPP

@@ -1,0 +1,160 @@
+#include "pnio/lexer.hpp"
+
+#include <cctype>
+
+#include "base/error.hpp"
+
+namespace fcqss::pnio {
+
+std::string to_string(token_kind kind)
+{
+    switch (kind) {
+    case token_kind::identifier: return "identifier";
+    case token_kind::integer: return "integer";
+    case token_kind::left_brace: return "'{'";
+    case token_kind::right_brace: return "'}'";
+    case token_kind::left_paren: return "'('";
+    case token_kind::right_paren: return "')'";
+    case token_kind::semicolon: return "';'";
+    case token_kind::arrow: return "'->'";
+    case token_kind::star: return "'*'";
+    case token_kind::end_of_input: return "end of input";
+    }
+    return "unknown";
+}
+
+namespace {
+
+class cursor {
+public:
+    explicit cursor(std::string_view source) : source_(source) {}
+
+    [[nodiscard]] bool at_end() const noexcept { return offset_ >= source_.size(); }
+    [[nodiscard]] char peek() const noexcept
+    {
+        return at_end() ? '\0' : source_[offset_];
+    }
+    char advance()
+    {
+        const char c = source_[offset_++];
+        if (c == '\n') {
+            ++line_;
+            column_ = 1;
+        } else {
+            ++column_;
+        }
+        return c;
+    }
+
+    [[nodiscard]] int line() const noexcept { return line_; }
+    [[nodiscard]] int column() const noexcept { return column_; }
+
+private:
+    std::string_view source_;
+    std::size_t offset_ = 0;
+    int line_ = 1;
+    int column_ = 1;
+};
+
+bool is_identifier_start(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_identifier_char(char c)
+{
+    return is_identifier_start(c) || std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+} // namespace
+
+std::vector<token> tokenize(std::string_view source)
+{
+    std::vector<token> tokens;
+    cursor cur(source);
+
+    while (!cur.at_end()) {
+        const int line = cur.line();
+        const int column = cur.column();
+        const char c = cur.peek();
+
+        if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+            cur.advance();
+            continue;
+        }
+        if (c == '#') {
+            while (!cur.at_end() && cur.peek() != '\n') {
+                cur.advance();
+            }
+            continue;
+        }
+        if (is_identifier_start(c)) {
+            std::string text;
+            while (!cur.at_end() && is_identifier_char(cur.peek())) {
+                text.push_back(cur.advance());
+            }
+            tokens.push_back({token_kind::identifier, std::move(text), 0, line, column});
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+            std::string digits;
+            while (!cur.at_end() &&
+                   std::isdigit(static_cast<unsigned char>(cur.peek())) != 0) {
+                digits.push_back(cur.advance());
+            }
+            std::int64_t value = 0;
+            for (char d : digits) {
+                if (value > (INT64_MAX - (d - '0')) / 10) {
+                    throw parse_error("integer literal too large", line, column);
+                }
+                value = value * 10 + (d - '0');
+            }
+            tokens.push_back({token_kind::integer, std::move(digits), value, line, column});
+            continue;
+        }
+
+        switch (c) {
+        case '{':
+            cur.advance();
+            tokens.push_back({token_kind::left_brace, "{", 0, line, column});
+            continue;
+        case '}':
+            cur.advance();
+            tokens.push_back({token_kind::right_brace, "}", 0, line, column});
+            continue;
+        case '(':
+            cur.advance();
+            tokens.push_back({token_kind::left_paren, "(", 0, line, column});
+            continue;
+        case ')':
+            cur.advance();
+            tokens.push_back({token_kind::right_paren, ")", 0, line, column});
+            continue;
+        case ';':
+            cur.advance();
+            tokens.push_back({token_kind::semicolon, ";", 0, line, column});
+            continue;
+        case '*':
+            cur.advance();
+            tokens.push_back({token_kind::star, "*", 0, line, column});
+            continue;
+        case '-': {
+            cur.advance();
+            if (cur.peek() != '>') {
+                throw parse_error("expected '->' after '-'", line, column);
+            }
+            cur.advance();
+            tokens.push_back({token_kind::arrow, "->", 0, line, column});
+            continue;
+        }
+        default:
+            throw parse_error(std::string("unexpected character '") + c + "'", line,
+                              column);
+        }
+    }
+
+    tokens.push_back({token_kind::end_of_input, "", 0, cur.line(), cur.column()});
+    return tokens;
+}
+
+} // namespace fcqss::pnio

@@ -1,0 +1,51 @@
+// fcqss — pnio/lexer.hpp
+// Tokenizer for the `.pn` net description language.  Grammar overview (see
+// parser.hpp for the full grammar):
+//
+//   net fig4 {
+//     places      { p1; p2; p7(1); }        # (n) = initial tokens
+//     transitions { t1; t2; }
+//     arcs        { t1 -> p1; p2 -> t4 * 2; }   # * w = arc weight
+//   }
+//
+// '#' starts a comment running to end of line.
+#ifndef FCQSS_PNIO_LEXER_HPP
+#define FCQSS_PNIO_LEXER_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fcqss::pnio {
+
+enum class token_kind {
+    identifier,
+    integer,
+    left_brace,
+    right_brace,
+    left_paren,
+    right_paren,
+    semicolon,
+    arrow,
+    star,
+    end_of_input,
+};
+
+[[nodiscard]] std::string to_string(token_kind kind);
+
+struct token {
+    token_kind kind = token_kind::end_of_input;
+    std::string text;        // identifier spelling / integer digits
+    std::int64_t value = 0;  // for integer tokens
+    int line = 0;
+    int column = 0;
+};
+
+/// Tokenizes `source`; throws fcqss::parse_error on illegal characters or
+/// malformed numbers.  The final token is always end_of_input.
+[[nodiscard]] std::vector<token> tokenize(std::string_view source);
+
+} // namespace fcqss::pnio
+
+#endif // FCQSS_PNIO_LEXER_HPP

@@ -1,0 +1,178 @@
+#include "pnio/parser.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "base/error.hpp"
+#include "pn/builder.hpp"
+#include "pnio/lexer.hpp"
+
+namespace fcqss::pnio {
+
+namespace {
+
+class parser {
+public:
+    explicit parser(std::string_view source) : tokens_(tokenize(source)) {}
+
+    pn::petri_net parse()
+    {
+        expect_keyword("net");
+        const token name = expect(token_kind::identifier);
+        pn::net_builder builder(name.text);
+        expect(token_kind::left_brace);
+        while (!check(token_kind::right_brace)) {
+            parse_section(builder);
+        }
+        expect(token_kind::right_brace);
+        expect(token_kind::end_of_input);
+        return std::move(builder).build();
+    }
+
+private:
+    const token& peek() const { return tokens_[position_]; }
+
+    token advance() { return tokens_[position_++]; }
+
+    bool check(token_kind kind) const { return peek().kind == kind; }
+
+    token expect(token_kind kind)
+    {
+        if (!check(kind)) {
+            throw parse_error("expected " + pnio::to_string(kind) + ", found " +
+                                  pnio::to_string(peek().kind),
+                              peek().line, peek().column);
+        }
+        return advance();
+    }
+
+    void expect_keyword(std::string_view keyword)
+    {
+        const token t = expect(token_kind::identifier);
+        if (t.text != keyword) {
+            throw parse_error("expected keyword '" + std::string(keyword) + "', found '" +
+                                  t.text + "'",
+                              t.line, t.column);
+        }
+    }
+
+    void parse_section(pn::net_builder& builder)
+    {
+        const token section = expect(token_kind::identifier);
+        if (section.text == "places") {
+            parse_places(builder);
+        } else if (section.text == "transitions") {
+            parse_transitions(builder);
+        } else if (section.text == "arcs") {
+            parse_arcs(builder);
+        } else {
+            throw parse_error("unknown section '" + section.text +
+                                  "' (expected places, transitions or arcs)",
+                              section.line, section.column);
+        }
+    }
+
+    void parse_places(pn::net_builder& builder)
+    {
+        expect(token_kind::left_brace);
+        while (!check(token_kind::right_brace)) {
+            const token name = expect(token_kind::identifier);
+            std::int64_t tokens = 0;
+            if (check(token_kind::left_paren)) {
+                advance();
+                tokens = expect(token_kind::integer).value;
+                expect(token_kind::right_paren);
+            }
+            expect(token_kind::semicolon);
+            places_[name.text] = builder.add_place(name.text, tokens);
+        }
+        expect(token_kind::right_brace);
+    }
+
+    void parse_transitions(pn::net_builder& builder)
+    {
+        expect(token_kind::left_brace);
+        while (!check(token_kind::right_brace)) {
+            const token name = expect(token_kind::identifier);
+            expect(token_kind::semicolon);
+            transitions_[name.text] = builder.add_transition(name.text);
+        }
+        expect(token_kind::right_brace);
+    }
+
+    void parse_arcs(pn::net_builder& builder)
+    {
+        expect(token_kind::left_brace);
+        while (!check(token_kind::right_brace)) {
+            const token from = expect(token_kind::identifier);
+            expect(token_kind::arrow);
+            const token to = expect(token_kind::identifier);
+            std::int64_t weight = 1;
+            if (check(token_kind::star)) {
+                advance();
+                const token w = expect(token_kind::integer);
+                if (w.value <= 0) {
+                    throw parse_error("arc weight must be positive", w.line, w.column);
+                }
+                weight = w.value;
+            }
+            expect(token_kind::semicolon);
+            add_arc_by_name(builder, from, to, weight);
+        }
+        expect(token_kind::right_brace);
+    }
+
+    void add_arc_by_name(pn::net_builder& builder, const token& from, const token& to,
+                         std::int64_t weight) const
+    {
+        const auto from_place = places_.find(from.text);
+        const auto from_transition = transitions_.find(from.text);
+        const auto to_place = places_.find(to.text);
+        const auto to_transition = transitions_.find(to.text);
+
+        if (from_place != places_.end() && to_transition != transitions_.end()) {
+            builder.add_arc(from_place->second, to_transition->second, weight);
+            return;
+        }
+        if (from_transition != transitions_.end() && to_place != places_.end()) {
+            builder.add_arc(from_transition->second, to_place->second, weight);
+            return;
+        }
+        if (from_place == places_.end() && from_transition == transitions_.end()) {
+            throw parse_error("unknown arc endpoint '" + from.text + "'", from.line,
+                              from.column);
+        }
+        if (to_place == places_.end() && to_transition == transitions_.end()) {
+            throw parse_error("unknown arc endpoint '" + to.text + "'", to.line, to.column);
+        }
+        throw parse_error("arc must connect a place and a transition: '" + from.text +
+                              " -> " + to.text + "'",
+                          from.line, from.column);
+    }
+
+    std::vector<token> tokens_;
+    std::size_t position_ = 0;
+    std::unordered_map<std::string, pn::place_id> places_;
+    std::unordered_map<std::string, pn::transition_id> transitions_;
+};
+
+} // namespace
+
+pn::petri_net parse_net(std::string_view source)
+{
+    return parser(source).parse();
+}
+
+pn::petri_net load_net(const std::string& path)
+{
+    std::ifstream file(path);
+    if (!file) {
+        throw error("load_net: cannot open '" + path + "'");
+    }
+    std::ostringstream contents;
+    contents << file.rdbuf();
+    return parse_net(contents.str());
+}
+
+} // namespace fcqss::pnio

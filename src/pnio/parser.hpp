@@ -1,0 +1,35 @@
+// fcqss — pnio/parser.hpp
+// Recursive-descent parser for the `.pn` format.  Full grammar:
+//
+//   file         := net
+//   net          := "net" IDENT "{" section* "}"
+//   section      := places | transitions | arcs
+//   places       := "places" "{" place-decl* "}"
+//   place-decl   := IDENT [ "(" INTEGER ")" ] ";"
+//   transitions  := "transitions" "{" IDENT ";" ... "}"
+//   arcs         := "arcs" "{" arc-decl* "}"
+//   arc-decl     := IDENT "->" IDENT [ "*" INTEGER ] ";"
+//
+// Arc endpoints are resolved by name: exactly one endpoint must be a place
+// and the other a transition.  Sections may repeat and interleave, but every
+// name must be declared before it is used in an arc.
+#ifndef FCQSS_PNIO_PARSER_HPP
+#define FCQSS_PNIO_PARSER_HPP
+
+#include <string_view>
+
+#include "pn/petri_net.hpp"
+
+namespace fcqss::pnio {
+
+/// Parses a `.pn` document into a net; throws fcqss::parse_error with
+/// line/column on syntax errors and fcqss::model_error on semantic ones
+/// (duplicate names, unknown arc endpoints, duplicate arcs).
+[[nodiscard]] pn::petri_net parse_net(std::string_view source);
+
+/// Reads a file and parses it.
+[[nodiscard]] pn::petri_net load_net(const std::string& path);
+
+} // namespace fcqss::pnio
+
+#endif // FCQSS_PNIO_PARSER_HPP

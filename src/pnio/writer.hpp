@@ -1,0 +1,21 @@
+// fcqss — pnio/writer.hpp
+// Serializes a net back to the `.pn` format (round-trips with the parser).
+#ifndef FCQSS_PNIO_WRITER_HPP
+#define FCQSS_PNIO_WRITER_HPP
+
+#include <string>
+
+#include "pn/petri_net.hpp"
+
+namespace fcqss::pnio {
+
+/// Renders the net as a `.pn` document.  parse_net(write_net(n)) produces a
+/// net identical to n up to iteration order.
+[[nodiscard]] std::string write_net(const pn::petri_net& net);
+
+/// Writes the net to a file; throws fcqss::error on I/O failure.
+void save_net(const pn::petri_net& net, const std::string& path);
+
+} // namespace fcqss::pnio
+
+#endif // FCQSS_PNIO_WRITER_HPP

@@ -1,0 +1,91 @@
+#include "qss/executability.hpp"
+
+#include "base/error.hpp"
+#include "pn/firing.hpp"
+
+namespace fcqss::qss {
+
+namespace {
+
+// xorshift* PRNG, deterministic across platforms.
+class prng {
+public:
+    explicit prng(std::uint64_t seed) : state_(seed ? seed : 0x9e3779b97f4a7c15ULL) {}
+
+    std::uint64_t below(std::uint64_t bound)
+    {
+        state_ ^= state_ >> 12;
+        state_ ^= state_ << 25;
+        state_ ^= state_ >> 27;
+        return (state_ * 0x2545f4914f6cdd1dULL) % bound;
+    }
+
+private:
+    std::uint64_t state_;
+};
+
+// Fires `cycle` from m; returns the failing position or nullopt.
+std::optional<std::size_t> run_cycle(const pn::petri_net& net, pn::marking& m,
+                                     const pn::firing_sequence& cycle)
+{
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+        if (!pn::try_fire(net, m, cycle[i])) {
+            return i;
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace
+
+std::optional<executability_failure>
+check_executability(const pn::petri_net& net, const qss_result& result,
+                    const executability_options& options)
+{
+    if (!result.schedulable) {
+        throw domain_error("check_executability: net is not schedulable");
+    }
+    const auto cycles = result.cycles();
+
+    // Exhaustive pairwise pass: run cycle i then cycle j (each complete
+    // cycle restores the initial marking, so longer compositions reduce to
+    // chains of these steps; the pairwise pass catches ordering-dependent
+    // blocking through shared fragments).
+    for (std::size_t i = 0; i < cycles.size(); ++i) {
+        for (std::size_t j = 0; j < cycles.size(); ++j) {
+            pn::marking m = pn::initial_marking(net);
+            if (const auto at = run_cycle(net, m, cycles[i])) {
+                return executability_failure{
+                    i, *at, "first cycle " + std::to_string(i) + " alone"};
+            }
+            if (const auto at = run_cycle(net, m, cycles[j])) {
+                return executability_failure{
+                    j, *at,
+                    "cycle " + std::to_string(j) + " after cycle " + std::to_string(i)};
+            }
+        }
+    }
+
+    // Random mixes: long adversarial runs through the cycle set.
+    prng rng(options.seed);
+    for (int round = 0; round < options.random_rounds; ++round) {
+        pn::marking m = pn::initial_marking(net);
+        std::string history;
+        const int length = 2 + static_cast<int>(rng.below(6));
+        for (int step = 0; step < length; ++step) {
+            const std::size_t pick = rng.below(cycles.size());
+            history += (step ? " -> " : "") + std::to_string(pick);
+            if (const auto at = run_cycle(net, m, cycles[pick])) {
+                return executability_failure{pick, *at, "random mix " + history};
+            }
+        }
+        if (m != pn::initial_marking(net)) {
+            return executability_failure{0, 0,
+                                         "random mix " + history +
+                                             " did not restore the initial marking"};
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace fcqss::qss

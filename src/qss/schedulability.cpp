@@ -1,0 +1,256 @@
+#include "qss/schedulability.hpp"
+
+#include <algorithm>
+
+#include "base/error.hpp"
+#include "linalg/checked.hpp"
+#include "pn/incidence.hpp"
+#include "pn/invariants.hpp"
+#include "pn/structure.hpp"
+
+namespace fcqss::qss {
+
+std::string to_string(reduction_failure f)
+{
+    switch (f) {
+    case reduction_failure::none: return "schedulable";
+    case reduction_failure::inconsistent: return "inconsistent";
+    case reduction_failure::source_uncovered: return "source transition uncovered";
+    case reduction_failure::deadlock: return "deadlock";
+    }
+    return "unknown";
+}
+
+namespace {
+
+// Greedy deterministic cover of the reduction's transitions by minimal
+// invariants: repeatedly take the invariant covering the most uncovered
+// transitions (ties: lowest index).  Returns indices into `invariants`.
+std::vector<std::size_t> greedy_invariant_cover(
+    const std::vector<linalg::int_vector>& invariants, std::size_t transition_count,
+    const std::vector<bool>& needs_cover)
+{
+    std::vector<bool> covered(transition_count, false);
+    std::size_t uncovered_count = 0;
+    for (std::size_t i = 0; i < transition_count; ++i) {
+        if (needs_cover[i]) {
+            ++uncovered_count;
+        } else {
+            covered[i] = true;
+        }
+    }
+
+    std::vector<std::size_t> chosen;
+    while (uncovered_count > 0) {
+        std::size_t best = invariants.size();
+        std::size_t best_gain = 0;
+        for (std::size_t i = 0; i < invariants.size(); ++i) {
+            std::size_t gain = 0;
+            for (std::size_t t : linalg::support(invariants[i])) {
+                if (!covered[t]) {
+                    ++gain;
+                }
+            }
+            if (gain > best_gain) {
+                best_gain = gain;
+                best = i;
+            }
+        }
+        require_internal(best < invariants.size(),
+                         "greedy_invariant_cover: uncoverable transition slipped "
+                         "past the consistency check");
+        chosen.push_back(best);
+        for (std::size_t t : linalg::support(invariants[best])) {
+            if (!covered[t]) {
+                covered[t] = true;
+                --uncovered_count;
+            }
+        }
+    }
+    std::sort(chosen.begin(), chosen.end());
+    return chosen;
+}
+
+// Deterministic choice-first simulation of `target` firings per transition
+// on the reduced subnet.  Returns the sequence in original ids, or the list
+// of transitions still owing firings on deadlock.
+struct simulation_outcome {
+    pn::firing_sequence cycle;
+    std::vector<pn::transition_id> stalled;
+    bool ok = false;
+};
+
+simulation_outcome simulate_cycle(const reduced_net& sub,
+                                  const std::vector<bool>& is_choice_member,
+                                  const std::vector<std::int32_t>& priority_keys,
+                                  const linalg::int_vector& target)
+{
+    simulation_outcome outcome;
+    pn::marking m = pn::initial_marking(sub.net);
+
+    linalg::int_vector remaining(sub.net.transition_count());
+    std::int64_t total = 0;
+    for (std::size_t i = 0; i < remaining.size(); ++i) {
+        const pn::transition_id original = sub.to_original_transition[i];
+        remaining[i] = target[original.index()];
+        total = linalg::checked_add(total, remaining[i]);
+    }
+    outcome.cycle.reserve(static_cast<std::size_t>(total));
+
+    while (total > 0) {
+        // Select the highest-priority enabled transition with work left.
+        // Priority classes: (0) allocated conflict transitions, keyed by
+        // their cluster's minimum id, so choices resolve at the earliest
+        // possible position and cycles of different reductions share
+        // prefixes until they diverge at a choice (Def. 3.1); (1) plain
+        // internal transitions, token-driven; (2) source transitions last —
+        // a new input is admitted only when the current reaction has
+        // quiesced, so multiplicity differences between reductions surface
+        // only after the choice that causes them has fired.
+        std::size_t best = sub.net.transition_count();
+        std::tuple<int, std::int32_t> best_key{3, 0};
+        for (std::size_t i = 0; i < remaining.size(); ++i) {
+            if (remaining[i] == 0) {
+                continue;
+            }
+            const pn::transition_id local{static_cast<std::int32_t>(i)};
+            if (!pn::is_enabled(sub.net, m, local)) {
+                continue;
+            }
+            const pn::transition_id original = sub.to_original_transition[i];
+            int priority_class = 1;
+            if (is_choice_member[original.index()]) {
+                priority_class = 0;
+            } else if (sub.net.inputs(local).empty()) {
+                priority_class = 2;
+            }
+            const std::tuple<int, std::int32_t> key{priority_class,
+                                                    priority_keys[original.index()]};
+            if (best == sub.net.transition_count() || key < best_key) {
+                best = i;
+                best_key = key;
+            }
+        }
+        if (best == sub.net.transition_count()) {
+            for (std::size_t i = 0; i < remaining.size(); ++i) {
+                if (remaining[i] > 0) {
+                    outcome.stalled.push_back(sub.to_original_transition[i]);
+                }
+            }
+            return outcome;
+        }
+        pn::fire(sub.net, m, pn::transition_id{static_cast<std::int32_t>(best)});
+        --remaining[best];
+        --total;
+        outcome.cycle.push_back(sub.to_original_transition[best]);
+    }
+
+    require_internal(m == pn::initial_marking(sub.net),
+                     "simulate_cycle: T-invariant firing did not restore the marking");
+    outcome.ok = true;
+    return outcome;
+}
+
+} // namespace
+
+reduction_schedule schedule_reduction(const pn::petri_net& net,
+                                      const std::vector<choice_cluster>& clusters,
+                                      const t_reduction& reduction)
+{
+    reduction_schedule result;
+    const reduced_net sub = materialize(net, reduction);
+
+    // Minimal T-invariants of the subnet, lifted to the original index space.
+    const std::vector<linalg::int_vector> sub_invariants = pn::t_invariants(sub.net);
+    for (const linalg::int_vector& x : sub_invariants) {
+        linalg::int_vector lifted(net.transition_count(), 0);
+        for (std::size_t i = 0; i < x.size(); ++i) {
+            lifted[sub.to_original_transition[i].index()] = x[i];
+        }
+        result.invariants.push_back(std::move(lifted));
+    }
+
+    // Consistency (Def. 3.5-1): every kept transition inside a T-invariant.
+    std::vector<bool> covered(net.transition_count(), false);
+    for (const linalg::int_vector& x : result.invariants) {
+        for (std::size_t t : linalg::support(x)) {
+            covered[t] = true;
+        }
+    }
+    std::vector<pn::transition_id> uncovered;
+    for (pn::transition_id t : net.transitions()) {
+        if (reduction.keep_transition[t.index()] && !covered[t.index()]) {
+            uncovered.push_back(t);
+        }
+    }
+    if (!uncovered.empty()) {
+        if (result.invariants.empty()) {
+            // No cyclic behaviour at all: the reduction can only execute
+            // finitely (Fig. 7's "inconsistent" reductions).
+            result.failure = reduction_failure::inconsistent;
+            result.offending = std::move(uncovered);
+            return result;
+        }
+        // Some invariants exist; if a source of N is among the uncovered
+        // transitions report Def. 3.5-2 specifically, else inconsistency.
+        const std::vector<pn::transition_id> sources = pn::source_transitions(net);
+        std::vector<pn::transition_id> uncovered_sources;
+        for (pn::transition_id s : sources) {
+            if (std::find(uncovered.begin(), uncovered.end(), s) != uncovered.end()) {
+                uncovered_sources.push_back(s);
+            }
+        }
+        if (!uncovered_sources.empty()) {
+            result.failure = reduction_failure::source_uncovered;
+            result.offending = std::move(uncovered_sources);
+        } else {
+            result.failure = reduction_failure::inconsistent;
+            result.offending = std::move(uncovered);
+        }
+        return result;
+    }
+
+    // Cycle vector: sum of a deterministic greedy invariant cover.
+    std::vector<bool> needs_cover(net.transition_count(), false);
+    for (pn::transition_id t : net.transitions()) {
+        needs_cover[t.index()] = reduction.keep_transition[t.index()];
+    }
+    const std::vector<std::size_t> cover =
+        greedy_invariant_cover(result.invariants, net.transition_count(), needs_cover);
+    result.cycle_vector.assign(net.transition_count(), 0);
+    for (std::size_t i : cover) {
+        result.cycle_vector = linalg::add(result.cycle_vector, result.invariants[i]);
+    }
+
+    // Firing-policy metadata from the original net's clusters.
+    std::vector<bool> is_choice_member(net.transition_count(), false);
+    for (const choice_cluster& cluster : clusters) {
+        for (pn::transition_id t : cluster.alternatives) {
+            is_choice_member[t.index()] = true;
+        }
+    }
+    const std::vector<std::int32_t> keys = conflict_priority_keys(net);
+
+    // Def. 3.5-3: simulate.  If the minimal cover deadlocks, small multiples
+    // can still complete on weighted nets, so retry a few before giving up.
+    constexpr std::int64_t max_cycle_multiplier = 4;
+    for (std::int64_t k = 1; k <= max_cycle_multiplier; ++k) {
+        const linalg::int_vector target =
+            k == 1 ? result.cycle_vector : linalg::scale(result.cycle_vector, k);
+        simulation_outcome outcome = simulate_cycle(sub, is_choice_member, keys, target);
+        if (outcome.ok) {
+            if (k > 1) {
+                result.cycle_vector = target;
+            }
+            result.cycle = std::move(outcome.cycle);
+            return result;
+        }
+        if (k == max_cycle_multiplier) {
+            result.failure = reduction_failure::deadlock;
+            result.offending = std::move(outcome.stalled);
+        }
+    }
+    return result;
+}
+
+} // namespace fcqss::qss

@@ -1,0 +1,74 @@
+// fcqss — qss/schedulability.hpp
+// Static schedulability of one T-reduction (Def. 3.5): the reduction must be
+// (1) consistent, (2) cover every source transition of the original net with
+// a T-invariant, and (3) admit a deadlock-free firing sequence back to the
+// initial marking.  The produced sequence is the reduction's finite complete
+// cycle, one entry of the valid schedule.
+#ifndef FCQSS_QSS_SCHEDULABILITY_HPP
+#define FCQSS_QSS_SCHEDULABILITY_HPP
+
+#include <string>
+#include <vector>
+
+#include "linalg/int_matrix.hpp"
+#include "pn/firing.hpp"
+#include "qss/reduction.hpp"
+
+namespace fcqss::qss {
+
+/// Why a T-reduction failed Def. 3.5.
+enum class reduction_failure {
+    none,
+    /// Not consistent: some transition of the reduction lies in no
+    /// T-invariant (Fig. 7: a source place makes the tail unrepeatable).
+    inconsistent,
+    /// A source transition of the original net is not covered by any
+    /// T-invariant of the reduction (Def. 3.5 condition 2).
+    source_uncovered,
+    /// Simulation of the cycle vector deadlocked before completing
+    /// (Def. 3.5 condition 3 / footnote 2).
+    deadlock,
+};
+
+[[nodiscard]] std::string to_string(reduction_failure f);
+
+/// Result of checking one reduction.
+struct reduction_schedule {
+    reduction_failure failure = reduction_failure::none;
+
+    /// Minimal T-invariants of the reduction, in the ORIGINAL net's
+    /// transition index space.
+    std::vector<linalg::int_vector> invariants;
+
+    /// The cycle vector actually scheduled: a deterministic greedy cover of
+    /// the reduction's transitions by minimal invariants (Fig. 5's published
+    /// schedule is the sum of its two minimal invariants).
+    linalg::int_vector cycle_vector;
+
+    /// The finite complete cycle (original transition ids); empty on failure.
+    pn::firing_sequence cycle;
+
+    /// Diagnostics: uncovered transitions (inconsistent), uncovered sources
+    /// (source_uncovered), or transitions still owing firings (deadlock).
+    std::vector<pn::transition_id> offending;
+
+    [[nodiscard]] bool ok() const noexcept { return failure == reduction_failure::none; }
+};
+
+/// Checks Def. 3.5 for `reduction` and constructs its finite complete cycle.
+///
+/// The firing policy is deterministic and *choice-first*: among enabled
+/// transitions with remaining firings, an allocated conflict transition
+/// (keyed by its cluster's minimum transition id) fires before any
+/// non-conflict transition (keyed by its own id).  Resolving choices as
+/// early as possible makes cycles of different reductions agree on their
+/// prefixes until a differently-allocated choice diverges — the property
+/// validity Definition 3.1 demands — and reproduces the paper's published
+/// sequences for Figs. 2, 4 and 5.
+[[nodiscard]] reduction_schedule
+schedule_reduction(const pn::petri_net& net, const std::vector<choice_cluster>& clusters,
+                   const t_reduction& reduction);
+
+} // namespace fcqss::qss
+
+#endif // FCQSS_QSS_SCHEDULABILITY_HPP

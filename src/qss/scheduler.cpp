@@ -1,0 +1,77 @@
+#include "qss/scheduler.hpp"
+
+#include "base/error.hpp"
+#include "pn/net_class.hpp"
+
+namespace fcqss::qss {
+
+std::vector<pn::firing_sequence> qss_result::cycles() const
+{
+    std::vector<pn::firing_sequence> result;
+    result.reserve(entries.size());
+    for (const schedule_entry& entry : entries) {
+        result.push_back(entry.analysis.cycle);
+    }
+    return result;
+}
+
+qss_result quasi_static_schedule(const pn::petri_net& net, const scheduler_options& options)
+{
+    qss_result result;
+    result.clusters = choice_clusters(net); // validates free choice
+
+    const std::vector<t_allocation> allocations =
+        enumerate_allocations(result.clusters, options.max_allocations);
+    result.allocations_enumerated = allocations.size();
+
+    // Compute each allocation's reduction; deduplicate identical subnets
+    // (allocations that differ only inside removed branches coincide).
+    for (std::size_t a = 0; a < allocations.size(); ++a) {
+        t_reduction reduction =
+            reduce(net, result.clusters, allocations[a], options.record_traces);
+        bool merged = false;
+        for (schedule_entry& entry : result.entries) {
+            if (entry.reduction.same_subnet(reduction)) {
+                entry.allocation_indices.push_back(a);
+                merged = true;
+                break;
+            }
+        }
+        if (!merged) {
+            schedule_entry entry;
+            entry.reduction = std::move(reduction);
+            entry.allocation_indices.push_back(a);
+            result.entries.push_back(std::move(entry));
+        }
+    }
+
+    // Def. 3.5 on every distinct reduction; Theorem 3.1 assembles the verdict.
+    bool all_ok = true;
+    for (schedule_entry& entry : result.entries) {
+        entry.analysis = schedule_reduction(net, result.clusters, entry.reduction);
+        if (!entry.analysis.ok()) {
+            all_ok = false;
+            if (!result.diagnosis.empty()) {
+                result.diagnosis += "; ";
+            }
+            result.diagnosis += "T-reduction for allocation " +
+                                to_string(net, result.clusters,
+                                          entry.reduction.allocation) +
+                                " is " + to_string(entry.analysis.failure);
+            if (!entry.analysis.offending.empty()) {
+                result.diagnosis += " (";
+                for (std::size_t i = 0; i < entry.analysis.offending.size(); ++i) {
+                    if (i != 0) {
+                        result.diagnosis += ", ";
+                    }
+                    result.diagnosis += net.transition_name(entry.analysis.offending[i]);
+                }
+                result.diagnosis += ")";
+            }
+        }
+    }
+    result.schedulable = all_ok;
+    return result;
+}
+
+} // namespace fcqss::qss

@@ -1,0 +1,69 @@
+// fcqss — qss/scheduler.hpp
+// The complete QSS pipeline (Sec. 3): enumerate T-allocations, compute
+// T-reductions, deduplicate, check Def. 3.5 on each, and assemble the valid
+// schedule — one finite complete cycle per distinct T-reduction.  By
+// Theorem 3.1 the net is quasi-statically schedulable iff every reduction
+// passes; the algorithm is complete for free-choice nets.
+#ifndef FCQSS_QSS_SCHEDULER_HPP
+#define FCQSS_QSS_SCHEDULER_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "pn/firing.hpp"
+#include "qss/schedulability.hpp"
+
+namespace fcqss::qss {
+
+/// Tuning knobs for the scheduler.
+struct scheduler_options {
+    /// Abort instead of enumerating more allocations than this (the count is
+    /// exponential in the number of choice clusters).
+    std::size_t max_allocations = 1u << 20;
+    /// Record reduction traces (Fig. 6 style) into the result.
+    bool record_traces = false;
+};
+
+/// One entry of the valid schedule: a distinct T-reduction together with its
+/// finite complete cycle and the allocations that map to it.
+struct schedule_entry {
+    t_reduction reduction;
+    reduction_schedule analysis;
+    /// Indices (into the enumeration order) of all allocations that produced
+    /// this same subnet.
+    std::vector<std::size_t> allocation_indices;
+};
+
+/// Outcome of quasi-static scheduling.
+struct qss_result {
+    /// True iff every distinct T-reduction is schedulable (Theorem 3.1).
+    bool schedulable = false;
+
+    /// All distinct T-reductions with their cycles (the valid schedule when
+    /// schedulable; partial diagnostics otherwise).
+    std::vector<schedule_entry> entries;
+
+    /// The choice clusters of the net (enumeration order for allocations).
+    std::vector<choice_cluster> clusters;
+
+    /// Total allocations enumerated (product of cluster sizes).
+    std::size_t allocations_enumerated = 0;
+
+    /// Human-readable failure summary; empty when schedulable.
+    std::string diagnosis;
+
+    /// The finite complete cycles, in entry order (convenience view).
+    [[nodiscard]] std::vector<pn::firing_sequence> cycles() const;
+};
+
+/// Runs the full QSS algorithm on an (equal-conflict) free-choice net.
+/// Throws domain_error when the net is outside that class; returns a result
+/// with schedulable == false and a diagnosis when the net is in class but
+/// not quasi-statically schedulable.
+[[nodiscard]] qss_result quasi_static_schedule(const pn::petri_net& net,
+                                               const scheduler_options& options = {});
+
+} // namespace fcqss::qss
+
+#endif // FCQSS_QSS_SCHEDULER_HPP

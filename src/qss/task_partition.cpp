@@ -1,0 +1,107 @@
+#include "qss/task_partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "base/error.hpp"
+#include "pn/structure.hpp"
+
+namespace fcqss::qss {
+
+namespace {
+
+// Plain union-find over transition indices.
+class union_find {
+public:
+    explicit union_find(std::size_t n) : parent_(n)
+    {
+        std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+    }
+
+    std::size_t find(std::size_t x)
+    {
+        while (parent_[x] != x) {
+            parent_[x] = parent_[parent_[x]];
+            x = parent_[x];
+        }
+        return x;
+    }
+
+    void merge(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+private:
+    std::vector<std::size_t> parent_;
+};
+
+} // namespace
+
+task_partition partition_tasks(const pn::petri_net& net, const qss_result& result)
+{
+    if (!result.schedulable) {
+        throw domain_error("partition_tasks: net is not quasi-statically schedulable");
+    }
+
+    // Rate dependence = transitive closure of "appears in the same minimal
+    // T-invariant" over every reduction's invariants.
+    union_find groups(net.transition_count());
+    std::vector<bool> used(net.transition_count(), false);
+    for (const schedule_entry& entry : result.entries) {
+        for (const linalg::int_vector& invariant : entry.analysis.invariants) {
+            const std::vector<std::size_t> support = linalg::support(invariant);
+            for (std::size_t i : support) {
+                used[i] = true;
+            }
+            for (std::size_t i = 1; i < support.size(); ++i) {
+                groups.merge(support[0], support[i]);
+            }
+        }
+    }
+
+    const std::vector<pn::transition_id> sources = pn::source_transitions(net);
+    task_partition partition;
+
+    // Group representatives that contain a source become tasks, in the order
+    // the sources appear (so task numbering is stable and source-led).
+    std::vector<std::size_t> task_of_root(net.transition_count(), SIZE_MAX);
+    for (pn::transition_id s : sources) {
+        const std::size_t root = groups.find(s.index());
+        if (task_of_root[root] == SIZE_MAX) {
+            task_of_root[root] = partition.tasks.size();
+            task_group group;
+            group.name = "task_" + net.transition_name(s);
+            partition.tasks.push_back(std::move(group));
+        }
+        partition.tasks[task_of_root[root]].sources.push_back(s);
+    }
+
+    for (pn::transition_id t : net.transitions()) {
+        if (!used[t.index()]) {
+            continue; // never fired by any cycle (cannot happen when schedulable)
+        }
+        const std::size_t root = groups.find(t.index());
+        if (task_of_root[root] != SIZE_MAX) {
+            partition.tasks[task_of_root[root]].members.push_back(t);
+        } else {
+            partition.detached.push_back(t);
+        }
+    }
+
+    // Nets without sources (autonomous marked-graph style): one task owning
+    // everything that fires.
+    if (partition.tasks.empty() && !partition.detached.empty()) {
+        task_group group;
+        group.name = "task_main";
+        group.members = std::move(partition.detached);
+        partition.detached.clear();
+        partition.tasks.push_back(std::move(group));
+    }
+
+    for (task_group& group : partition.tasks) {
+        std::sort(group.members.begin(), group.members.end());
+        group.members.erase(std::unique(group.members.begin(), group.members.end()),
+                            group.members.end());
+    }
+    return partition;
+}
+
+} // namespace fcqss::qss

@@ -1,0 +1,46 @@
+// fcqss — qss/task_partition.hpp
+// Partitioning the synthesized software into tasks (Sec. 4): one task per
+// group of source transitions with *dependent* firing rates.  "A task is
+// composed only of transitions with dependent firing rates, i.e. transitions
+// belonging to the same T-invariant" — so transitions are grouped by the
+// transitive closure of sharing a minimal T-invariant, and each group with a
+// source transition becomes a task.  Inputs with independent rates (the ATM
+// server's Cell and Tick) land in different groups, giving the paper's lower
+// bound on the number of tasks.
+#ifndef FCQSS_QSS_TASK_PARTITION_HPP
+#define FCQSS_QSS_TASK_PARTITION_HPP
+
+#include <string>
+#include <vector>
+
+#include "qss/scheduler.hpp"
+
+namespace fcqss::qss {
+
+/// One synthesized task.
+struct task_group {
+    /// The independent-rate inputs that activate this task.
+    std::vector<pn::transition_id> sources;
+    /// Every transition executed by this task (ascending).
+    std::vector<pn::transition_id> members;
+    /// Task name derived from its first source ("task_Cell").
+    std::string name;
+};
+
+/// The task partition of a schedulable QSS result.
+struct task_partition {
+    std::vector<task_group> tasks;
+    /// Transitions reachable in the schedule but belonging to no source
+    /// group (only possible in nets without source transitions: one
+    /// free-running task is emitted for them).
+    std::vector<pn::transition_id> detached;
+};
+
+/// Computes the partition from the invariants of all schedule entries.
+/// Requires result.schedulable.
+[[nodiscard]] task_partition partition_tasks(const pn::petri_net& net,
+                                             const qss_result& result);
+
+} // namespace fcqss::qss
+
+#endif // FCQSS_QSS_TASK_PARTITION_HPP

@@ -1,0 +1,134 @@
+#include "qss/tradeoff.hpp"
+
+#include <algorithm>
+
+#include "base/error.hpp"
+#include "linalg/checked.hpp"
+#include "pn/firing.hpp"
+#include "qss/reduction.hpp"
+
+namespace fcqss::qss {
+
+namespace {
+
+// Fires `target` occurrences of each transition on the reduced subnet with
+// an input-batching policy (sources first), recording per-place peaks in the
+// ORIGINAL place index space.  Returns the executed length.
+std::int64_t simulate_batched(const pn::petri_net& net, const reduced_net& sub,
+                              const linalg::int_vector& target,
+                              std::vector<std::int64_t>& peaks)
+{
+    pn::marking m = pn::initial_marking(sub.net);
+    linalg::int_vector remaining(sub.net.transition_count());
+    std::int64_t total = 0;
+    for (std::size_t i = 0; i < remaining.size(); ++i) {
+        remaining[i] = target[sub.to_original_transition[i].index()];
+        total = linalg::checked_add(total, remaining[i]);
+    }
+    const std::int64_t length = total;
+
+    const auto note_peaks = [&]() {
+        for (std::size_t p = 0; p < sub.net.place_count(); ++p) {
+            const std::size_t original =
+                sub.to_original_place[p].index();
+            peaks[original] = std::max(peaks[original],
+                                       m.tokens(pn::place_id{static_cast<std::int32_t>(p)}));
+        }
+    };
+    note_peaks();
+
+    while (total > 0) {
+        std::size_t best = sub.net.transition_count();
+        // Sources (always enabled) take precedence: batch the whole input
+        // burst, then drain — the unrolled-schedule shape.
+        for (std::size_t i = 0; i < remaining.size(); ++i) {
+            if (remaining[i] == 0) {
+                continue;
+            }
+            const pn::transition_id local{static_cast<std::int32_t>(i)};
+            if (!pn::is_enabled(sub.net, m, local)) {
+                continue;
+            }
+            const bool is_source = sub.net.inputs(local).empty();
+            if (is_source) {
+                best = i;
+                break;
+            }
+            if (best == sub.net.transition_count()) {
+                best = i;
+            }
+        }
+        if (best == sub.net.transition_count()) {
+            throw internal_error("explore_tradeoff: scaled cycle deadlocked");
+        }
+        pn::fire(sub.net, m, pn::transition_id{static_cast<std::int32_t>(best)});
+        --remaining[best];
+        --total;
+        note_peaks();
+    }
+    require_internal(m == pn::initial_marking(sub.net),
+                     "explore_tradeoff: scaled cycle did not restore the marking");
+    (void)net;
+    return length;
+}
+
+} // namespace
+
+std::vector<std::int64_t> schedule_buffer_bounds(const pn::petri_net& net,
+                                                 const qss_result& result)
+{
+    if (!result.schedulable) {
+        throw domain_error("schedule_buffer_bounds: net is not schedulable");
+    }
+    std::vector<std::int64_t> peaks(net.place_count(), 0);
+    for (pn::place_id p : net.places()) {
+        peaks[p.index()] = net.initial_tokens(p);
+    }
+    for (const schedule_entry& entry : result.entries) {
+        pn::marking m = pn::initial_marking(net);
+        for (pn::transition_id t : entry.analysis.cycle) {
+            pn::fire(net, m, t);
+            for (pn::place_id p : net.places()) {
+                peaks[p.index()] = std::max(peaks[p.index()], m.tokens(p));
+            }
+        }
+    }
+    return peaks;
+}
+
+std::vector<tradeoff_point> explore_tradeoff(const pn::petri_net& net,
+                                             const qss_result& result,
+                                             std::int64_t max_unroll)
+{
+    if (!result.schedulable) {
+        throw domain_error("explore_tradeoff: net is not schedulable");
+    }
+    if (max_unroll < 1) {
+        throw domain_error("explore_tradeoff: max_unroll must be >= 1");
+    }
+
+    std::vector<tradeoff_point> curve;
+    for (std::int64_t k = 1; k <= max_unroll; ++k) {
+        tradeoff_point point;
+        point.unroll = k;
+        std::vector<std::int64_t> peaks(net.place_count(), 0);
+        for (pn::place_id p : net.places()) {
+            peaks[p.index()] = net.initial_tokens(p);
+        }
+        for (const schedule_entry& entry : result.entries) {
+            const reduced_net sub = materialize(net, entry.reduction);
+            const linalg::int_vector target =
+                linalg::scale(entry.analysis.cycle_vector, k);
+            point.schedule_length = linalg::checked_add(
+                point.schedule_length, simulate_batched(net, sub, target, peaks));
+        }
+        for (std::int64_t peak : peaks) {
+            point.total_buffer_tokens = linalg::checked_add(point.total_buffer_tokens, peak);
+            point.max_place_tokens = std::max(point.max_place_tokens, peak);
+        }
+        curve.push_back(point);
+    }
+    return curve;
+}
+
+} // namespace fcqss::qss

@@ -1,0 +1,46 @@
+// fcqss — qss/tradeoff.hpp
+// Schedule-space exploration: the paper's conclusions propose letting the
+// designer "explore different schedules, evaluating tradeoffs between code
+// and buffer size".  This module implements that exploration: for each
+// unrolling factor k, the cycle vectors are scaled k-fold, which lengthens
+// the static schedule (more code when loops are unrolled, fewer guard
+// re-evaluations at run time) and changes the peak token counts the
+// counters must accommodate (buffer memory).
+#ifndef FCQSS_QSS_TRADEOFF_HPP
+#define FCQSS_QSS_TRADEOFF_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "qss/scheduler.hpp"
+
+namespace fcqss::qss {
+
+/// Peak token counts per place over the execution of every cycle of a valid
+/// schedule — the capacity the synthesized counters/buffers must hold.
+/// Entry p is the maximum of m(p) over all prefixes of all cycles.
+[[nodiscard]] std::vector<std::int64_t> schedule_buffer_bounds(const pn::petri_net& net,
+                                                               const qss_result& result);
+
+/// One point of the code/buffer tradeoff curve.
+struct tradeoff_point {
+    /// Cycle unrolling factor (1 = the minimal schedule).
+    std::int64_t unroll = 1;
+    /// Total schedule length (sum of cycle lengths) — the static-code-size
+    /// proxy when cycles are unrolled into straight-line code.
+    std::int64_t schedule_length = 0;
+    /// Sum over places of peak token counts (buffer memory in tokens).
+    std::int64_t total_buffer_tokens = 0;
+    /// Largest single-place peak.
+    std::int64_t max_place_tokens = 0;
+};
+
+/// Evaluates unrolling factors 1..max_unroll for a schedulable net.
+/// Each factor re-simulates every reduction with the scaled cycle vector.
+[[nodiscard]] std::vector<tradeoff_point>
+explore_tradeoff(const pn::petri_net& net, const qss_result& result,
+                 std::int64_t max_unroll = 4);
+
+} // namespace fcqss::qss
+
+#endif // FCQSS_QSS_TRADEOFF_HPP

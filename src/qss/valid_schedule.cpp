@@ -1,0 +1,98 @@
+#include "qss/valid_schedule.hpp"
+
+#include <algorithm>
+
+#include "pn/structure.hpp"
+
+namespace fcqss::qss {
+
+std::string validity_violation::describe(const pn::petri_net& net) const
+{
+    switch (reason) {
+    case kind::not_a_finite_complete_cycle:
+        return "sequence " + std::to_string(sequence_index) +
+               " is not a finite complete cycle (does not fire back to the "
+               "initial marking)";
+    case kind::missing_source_transition:
+        return "sequence " + std::to_string(sequence_index) +
+               " does not contain source transition '" + net.transition_name(transition) +
+               "'";
+    case kind::missing_alternative:
+        return "sequence " + std::to_string(sequence_index) + " position " +
+               std::to_string(position) + ": no sequence in S shares the prefix and " +
+               "continues with equal-conflict alternative '" +
+               net.transition_name(transition) + "'";
+    }
+    return "unknown violation";
+}
+
+std::optional<validity_violation>
+check_valid_schedule(const pn::petri_net& net,
+                     const std::vector<pn::firing_sequence>& schedule)
+{
+    const std::vector<pn::transition_id> sources = pn::source_transitions(net);
+
+    // Side conditions: finite complete cycles covering every source.
+    for (std::size_t i = 0; i < schedule.size(); ++i) {
+        if (!pn::is_finite_complete_cycle(net, schedule[i])) {
+            return validity_violation{
+                validity_violation::kind::not_a_finite_complete_cycle, i, 0, {}};
+        }
+        for (pn::transition_id s : sources) {
+            if (std::find(schedule[i].begin(), schedule[i].end(), s) ==
+                schedule[i].end()) {
+                return validity_violation{
+                    validity_violation::kind::missing_source_transition, i, 0, s};
+            }
+        }
+    }
+
+    // Equal Conflict classes with >= 2 members, as a per-transition lookup.
+    std::vector<std::vector<pn::transition_id>> alternatives_of(net.transition_count());
+    for (const choice_cluster& cluster : choice_clusters(net)) {
+        for (pn::transition_id t : cluster.alternatives) {
+            for (pn::transition_id other : cluster.alternatives) {
+                if (other != t &&
+                    std::find(alternatives_of[t.index()].begin(),
+                              alternatives_of[t.index()].end(),
+                              other) == alternatives_of[t.index()].end()) {
+                    alternatives_of[t.index()].push_back(other);
+                }
+            }
+        }
+    }
+
+    // Def. 3.1 proper: alternative continuations at first occurrences.
+    for (std::size_t i = 0; i < schedule.size(); ++i) {
+        const pn::firing_sequence& sigma = schedule[i];
+        for (std::size_t j = 0; j < sigma.size(); ++j) {
+            const pn::transition_id t = sigma[j];
+            // Only the first occurrence of t within sigma_i is constrained.
+            if (std::find(sigma.begin(), sigma.begin() + static_cast<std::ptrdiff_t>(j),
+                          t) != sigma.begin() + static_cast<std::ptrdiff_t>(j)) {
+                continue;
+            }
+            for (pn::transition_id alternative : alternatives_of[t.index()]) {
+                bool found = false;
+                for (const pn::firing_sequence& sigma_l : schedule) {
+                    if (sigma_l.size() <= j || sigma_l[j] != alternative) {
+                        continue;
+                    }
+                    if (std::equal(sigma.begin(),
+                                   sigma.begin() + static_cast<std::ptrdiff_t>(j),
+                                   sigma_l.begin())) {
+                        found = true;
+                        break;
+                    }
+                }
+                if (!found) {
+                    return validity_violation{
+                        validity_violation::kind::missing_alternative, i, j, alternative};
+                }
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace fcqss::qss

@@ -1,0 +1,53 @@
+// fcqss — qss/valid_schedule.hpp
+// A literal checker for validity Definition 3.1: a set S of finite complete
+// cycles is a valid schedule when (a) every sequence is a finite complete
+// cycle containing at least one occurrence of each source transition, and
+// (b) for every sequence sigma_i whose j-th transition is the *first*
+// occurrence of a conflict transition in sigma_i, and for every other member
+// t_k of its Equal Conflict class, some sequence sigma_l shares the first
+// j-1 transitions with sigma_i and has t_k at position j — the adversary can
+// flip any choice and the schedule still has an answer.
+#ifndef FCQSS_QSS_VALID_SCHEDULE_HPP
+#define FCQSS_QSS_VALID_SCHEDULE_HPP
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pn/firing.hpp"
+#include "qss/conflict_clusters.hpp"
+
+namespace fcqss::qss {
+
+/// A violation of Def. 3.1, with enough context to print a useful message.
+struct validity_violation {
+    enum class kind {
+        /// A sequence does not fire back to the initial marking.
+        not_a_finite_complete_cycle,
+        /// A sequence misses some source transition of the net.
+        missing_source_transition,
+        /// The alternative-continuation condition failed.
+        missing_alternative,
+    };
+    kind reason;
+    /// Index of the offending sequence in S.
+    std::size_t sequence_index = 0;
+    /// Position j (0-based) for missing_alternative.
+    std::size_t position = 0;
+    /// The conflict alternative with no matching sequence, or the missing
+    /// source transition.
+    pn::transition_id transition;
+
+    [[nodiscard]] std::string describe(const pn::petri_net& net) const;
+};
+
+/// Checks Def. 3.1 plus the finite-complete-cycle and source-coverage side
+/// conditions.  Returns the first violation found, or nullopt when S is a
+/// valid schedule.
+[[nodiscard]] std::optional<validity_violation>
+check_valid_schedule(const pn::petri_net& net,
+                     const std::vector<pn::firing_sequence>& schedule);
+
+} // namespace fcqss::qss
+
+#endif // FCQSS_QSS_VALID_SCHEDULE_HPP

@@ -1,0 +1,78 @@
+#include "rtos/rtos_sim.hpp"
+
+#include "base/error.hpp"
+
+namespace fcqss::rtos {
+
+void task_context::send(const std::string& task, message m)
+{
+    sim_.send_internal(task, std::move(m));
+}
+
+void rtos_simulator::register_task(const std::string& name, task_handler handler)
+{
+    if (handlers_.contains(name)) {
+        throw model_error("rtos_simulator: duplicate task '" + name + "'");
+    }
+    if (!handler) {
+        throw model_error("rtos_simulator: empty handler for '" + name + "'");
+    }
+    handlers_.emplace(name, std::move(handler));
+}
+
+void rtos_simulator::post_external(std::int64_t time, const std::string& task, message m)
+{
+    if (!handlers_.contains(task)) {
+        throw model_error("rtos_simulator: external event for unknown task '" + task + "'");
+    }
+    queue_.push({time, next_sequence_++, task, std::move(m), /*external=*/true});
+}
+
+void rtos_simulator::send_internal(const std::string& task, message m)
+{
+    if (!handlers_.contains(task)) {
+        throw model_error("rtos_simulator: message to unknown task '" + task + "'");
+    }
+    report_.total_cycles += costs_.queue_push;
+    report_.tasks[current_task_].cycles += costs_.queue_push;
+    report_.tasks[current_task_].messages_sent += 1;
+    queue_.push({now_, next_sequence_++, task, std::move(m), /*external=*/false});
+}
+
+sim_report rtos_simulator::run()
+{
+    report_ = sim_report{};
+    for (const auto& [name, handler] : handlers_) {
+        (void)handler;
+        report_.tasks.emplace(name, task_report{});
+    }
+
+    while (!queue_.empty()) {
+        const pending_event event = queue_.top();
+        queue_.pop();
+        now_ = std::max(now_, event.time);
+        current_task_ = event.task;
+
+        task_report& task = report_.tasks[event.task];
+        std::int64_t cycles = costs_.task_activation;
+        if (event.external) {
+            cycles += costs_.interrupt_overhead;
+        } else {
+            cycles += costs_.queue_pop;
+        }
+
+        task_context context(*this);
+        const cgen::run_stats stats = handlers_.at(event.task)(context, event.payload);
+        cycles += costs_.fragment_cost(stats);
+
+        task.activations += 1;
+        task.cycles += cycles;
+        report_.total_cycles += cycles;
+        report_.events_processed += 1;
+    }
+    report_.end_time = now_;
+    current_task_.clear();
+    return report_;
+}
+
+} // namespace fcqss::rtos

@@ -1,0 +1,113 @@
+// fcqss — rtos/rtos_sim.hpp
+// A small run-to-completion RTOS simulator.  Tasks are activated by external
+// events (interrupts: the ATM server's Cell and Tick) or by messages posted
+// from other tasks (the functional-partitioning baseline chains its five
+// module tasks through such queues).  Every activation pays the cost model's
+// dispatch overhead; every message pays push/pop — which is precisely the
+// overhead quasi-static scheduling removes by fusing rate-dependent work
+// into fewer tasks (Sec. 5, Table I).
+#ifndef FCQSS_RTOS_RTOS_SIM_HPP
+#define FCQSS_RTOS_RTOS_SIM_HPP
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "rtos/cost_model.hpp"
+
+namespace fcqss::rtos {
+
+/// A message delivered to a task: a topic plus one integer payload.
+struct message {
+    std::string topic;
+    std::int64_t value = 0;
+};
+
+class rtos_simulator;
+
+/// Handed to a running task so it can post messages to peers.
+class task_context {
+public:
+    /// Posts `m` to `task`'s queue (costs queue_push now, queue_pop and an
+    /// activation when delivered).
+    void send(const std::string& task, message m);
+
+private:
+    friend class rtos_simulator;
+    explicit task_context(rtos_simulator& sim) : sim_(sim) {}
+    rtos_simulator& sim_;
+};
+
+/// A task body: reacts to one message, reports its execution statistics.
+using task_handler = std::function<cgen::run_stats(task_context&, const message&)>;
+
+/// Per-task accounting.
+struct task_report {
+    std::int64_t activations = 0;
+    std::int64_t cycles = 0;
+    std::int64_t messages_sent = 0;
+};
+
+/// Whole-run accounting (Table I's "Clock cycles" is total_cycles).
+struct sim_report {
+    std::int64_t total_cycles = 0;
+    std::int64_t events_processed = 0;
+    std::int64_t end_time = 0;
+    std::map<std::string, task_report> tasks;
+};
+
+/// Discrete-event simulator.  External events carry a timestamp; internal
+/// messages are delivered at the sending activation's timestamp in FIFO
+/// order (run-to-completion semantics, single processor).
+class rtos_simulator {
+public:
+    explicit rtos_simulator(cost_model costs = {}) : costs_(costs) {}
+
+    /// Registers a task; names must be unique.
+    void register_task(const std::string& name, task_handler handler);
+
+    /// Schedules an external (interrupt) event for `task` at `time`.
+    void post_external(std::int64_t time, const std::string& task, message m);
+
+    /// Runs until all events are drained and returns the accounting.
+    [[nodiscard]] sim_report run();
+
+    [[nodiscard]] const cost_model& costs() const noexcept { return costs_; }
+
+private:
+    friend class task_context;
+
+    struct pending_event {
+        std::int64_t time = 0;
+        std::uint64_t sequence = 0;
+        std::string task;
+        message payload;
+        bool external = false;
+
+        /// Min-heap by (time, sequence).
+        [[nodiscard]] bool operator>(const pending_event& other) const
+        {
+            if (time != other.time) {
+                return time > other.time;
+            }
+            return sequence > other.sequence;
+        }
+    };
+
+    void send_internal(const std::string& task, message m);
+
+    cost_model costs_;
+    std::map<std::string, task_handler> handlers_;
+    std::priority_queue<pending_event, std::vector<pending_event>, std::greater<>> queue_;
+    std::uint64_t next_sequence_ = 0;
+    std::int64_t now_ = 0;
+    std::string current_task_;
+    sim_report report_;
+};
+
+} // namespace fcqss::rtos
+
+#endif // FCQSS_RTOS_RTOS_SIM_HPP

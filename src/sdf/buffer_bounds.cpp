@@ -1,0 +1,52 @@
+#include "sdf/buffer_bounds.hpp"
+
+#include "base/error.hpp"
+#include "linalg/checked.hpp"
+
+namespace fcqss::sdf {
+
+std::vector<std::int64_t> buffer_bounds(const sdf_graph& graph,
+                                        const static_schedule& schedule)
+{
+    if (!schedule.ok()) {
+        throw domain_error("buffer_bounds: schedule is not valid");
+    }
+    std::vector<std::int64_t> tokens(graph.channel_count());
+    std::vector<std::int64_t> bounds(graph.channel_count());
+    for (channel_id c = 0; c < graph.channel_count(); ++c) {
+        tokens[c] = graph.channel_at(c).initial_tokens;
+        bounds[c] = tokens[c];
+    }
+
+    for (actor_id a : schedule.firing_order) {
+        for (channel_id c = 0; c < graph.channel_count(); ++c) {
+            const channel& ch = graph.channel_at(c);
+            if (ch.consumer == a) {
+                tokens[c] -= ch.consumption;
+                require_internal(tokens[c] >= 0, "buffer_bounds: negative channel fill");
+            }
+        }
+        for (channel_id c = 0; c < graph.channel_count(); ++c) {
+            const channel& ch = graph.channel_at(c);
+            if (ch.producer == a) {
+                tokens[c] += ch.production;
+                if (tokens[c] > bounds[c]) {
+                    bounds[c] = tokens[c];
+                }
+            }
+        }
+    }
+    return bounds;
+}
+
+std::int64_t total_buffer_bytes(const std::vector<std::int64_t>& bounds,
+                                std::int64_t token_bytes)
+{
+    std::int64_t total = 0;
+    for (std::int64_t b : bounds) {
+        total = linalg::checked_add(total, linalg::checked_mul(b, token_bytes));
+    }
+    return total;
+}
+
+} // namespace fcqss::sdf

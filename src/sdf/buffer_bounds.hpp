@@ -1,0 +1,28 @@
+// fcqss — sdf/buffer_bounds.hpp
+// Channel buffer sizing for a static schedule.  Quasi-static and static
+// scheduling "can bound the maximum size of those queues and ensure correct
+// execution on an embedded system with a finite amount of physical memory"
+// (Sec. 1); this module computes those bounds for the static case.
+#ifndef FCQSS_SDF_BUFFER_BOUNDS_HPP
+#define FCQSS_SDF_BUFFER_BOUNDS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "sdf/static_schedule.hpp"
+
+namespace fcqss::sdf {
+
+/// Maximum simultaneous token count per channel while executing one period
+/// of `schedule` — the buffer capacity a code generator must allocate.
+/// Requires schedule.ok().
+[[nodiscard]] std::vector<std::int64_t> buffer_bounds(const sdf_graph& graph,
+                                                      const static_schedule& schedule);
+
+/// Total memory over all channels, each token occupying `token_bytes`.
+[[nodiscard]] std::int64_t total_buffer_bytes(const std::vector<std::int64_t>& bounds,
+                                              std::int64_t token_bytes);
+
+} // namespace fcqss::sdf
+
+#endif // FCQSS_SDF_BUFFER_BOUNDS_HPP

@@ -1,0 +1,66 @@
+// fcqss — sdf/looped_schedule.hpp
+// Looped schedules: the compact form of static SDF schedules used by code
+// generators since Lee/Messerschmitt — "(4 t1)(2 t2)(1 t3)" instead of the
+// flat "t1 t1 t1 t1 t2 t2 t3".  Loop compression trades code size against
+// buffer memory: a single-appearance schedule has minimal code (every actor
+// appears once) but batches whole bursts, while the flat interleaving
+// minimizes buffers.  This is the static-scheduling end of the code/buffer
+// tradeoff the paper's Sec. 6 proposes exploring.
+#ifndef FCQSS_SDF_LOOPED_SCHEDULE_HPP
+#define FCQSS_SDF_LOOPED_SCHEDULE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sdf/static_schedule.hpp"
+
+namespace fcqss::sdf {
+
+/// One element of a looped schedule: either a single actor firing or a loop
+/// of `count` repetitions of a body.
+struct schedule_node {
+    /// Loop trip count; 1 for a plain firing.
+    std::int64_t count = 1;
+    /// Actor fired when body is empty.
+    actor_id actor = 0;
+    /// Non-empty = nested loop body.
+    std::vector<schedule_node> body;
+};
+
+/// A looped schedule.
+struct looped_schedule {
+    std::vector<schedule_node> nodes;
+
+    /// Number of actor lexemes (the code-size proxy): a single-appearance
+    /// schedule has exactly one per actor.
+    [[nodiscard]] std::size_t appearance_count() const;
+};
+
+/// Compresses a flat firing order by repeated run-length/periodic-block
+/// detection.  flatten(compress(s)) == s for every input.
+[[nodiscard]] looped_schedule compress(const std::vector<actor_id>& firing_order);
+
+/// Expands a looped schedule back to the flat firing order.
+[[nodiscard]] std::vector<actor_id> flatten(const looped_schedule& schedule);
+
+/// Builds the single-appearance schedule "(q0 a0)(q1 a1)..." along a
+/// topological order of the graph.  Valid for acyclic SDF graphs (and for
+/// graphs whose cycles carry enough initial tokens to fire each actor's
+/// full burst); returns an empty schedule when no valid SAS order exists.
+[[nodiscard]] looped_schedule single_appearance_schedule(const sdf_graph& graph);
+
+/// True when executing the looped schedule from the initial channel state
+/// never underflows a channel and ends where it started.
+[[nodiscard]] bool is_admissible(const sdf_graph& graph, const looped_schedule& schedule);
+
+/// Peak channel fills while executing the looped schedule.
+[[nodiscard]] std::vector<std::int64_t> looped_buffer_bounds(const sdf_graph& graph,
+                                                             const looped_schedule& schedule);
+
+/// Renders e.g. "(4 t1) (2 t2) t3".
+[[nodiscard]] std::string to_string(const sdf_graph& graph, const looped_schedule& schedule);
+
+} // namespace fcqss::sdf
+
+#endif // FCQSS_SDF_LOOPED_SCHEDULE_HPP

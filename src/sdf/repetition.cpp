@@ -1,0 +1,99 @@
+#include "sdf/repetition.hpp"
+
+#include <deque>
+
+#include "base/error.hpp"
+#include "linalg/checked.hpp"
+#include "linalg/rational.hpp"
+
+namespace fcqss::sdf {
+
+using linalg::rational;
+
+repetition_result repetition_vector(const sdf_graph& graph)
+{
+    const std::size_t n = graph.actor_count();
+    repetition_result result;
+    if (n == 0) {
+        return result;
+    }
+
+    // Adjacency: for each actor the incident channels.
+    std::vector<std::vector<channel_id>> incident(n);
+    for (channel_id c = 0; c < graph.channel_count(); ++c) {
+        const channel& ch = graph.channel_at(c);
+        incident[ch.producer].push_back(c);
+        if (ch.consumer != ch.producer) {
+            incident[ch.consumer].push_back(c);
+        }
+    }
+
+    // Propagate rational firing ratios across each weakly connected
+    // component, seeding each component's first actor with ratio 1, then
+    // scale that component to its least strictly positive integer solution.
+    std::vector<std::optional<rational>> ratio(n);
+    std::vector<std::int64_t> counts(n, 0);
+    for (std::size_t seed = 0; seed < n; ++seed) {
+        if (ratio[seed].has_value()) {
+            continue;
+        }
+        std::vector<std::size_t> component{seed};
+        ratio[seed] = rational(1);
+        std::deque<std::size_t> frontier{seed};
+        while (!frontier.empty()) {
+            const std::size_t a = frontier.front();
+            frontier.pop_front();
+            for (channel_id c : incident[a]) {
+                const channel& ch = graph.channel_at(c);
+                if (ch.producer == ch.consumer) {
+                    // Self-loop: consistent iff production == consumption.
+                    if (ch.production != ch.consumption) {
+                        result.inconsistent_channel = c;
+                        result.counts.clear();
+                        return result;
+                    }
+                    continue;
+                }
+                // Balance: q[prod] * production == q[cons] * consumption.
+                const std::size_t known = a;
+                const std::size_t other = (ch.producer == a) ? ch.consumer : ch.producer;
+                rational implied;
+                if (ch.producer == known) {
+                    implied = *ratio[known] * rational(ch.production, ch.consumption);
+                } else {
+                    implied = *ratio[known] * rational(ch.consumption, ch.production);
+                }
+                if (!ratio[other].has_value()) {
+                    ratio[other] = implied;
+                    component.push_back(other);
+                    frontier.push_back(other);
+                } else if (*ratio[other] != implied) {
+                    result.inconsistent_channel = c;
+                    result.counts.clear();
+                    return result;
+                }
+            }
+        }
+
+        std::int64_t denominator_lcm = 1;
+        for (std::size_t a : component) {
+            denominator_lcm = linalg::lcm64(denominator_lcm, ratio[a]->den());
+        }
+        std::int64_t numerator_gcd = 0;
+        for (std::size_t a : component) {
+            counts[a] =
+                linalg::checked_mul(ratio[a]->num(), denominator_lcm / ratio[a]->den());
+            require_internal(counts[a] > 0, "repetition_vector: non-positive count");
+            numerator_gcd = linalg::gcd64(numerator_gcd, counts[a]);
+        }
+        if (numerator_gcd > 1) {
+            for (std::size_t a : component) {
+                counts[a] /= numerator_gcd;
+            }
+        }
+    }
+    result.counts = std::move(counts);
+    return result;
+}
+
+} // namespace fcqss::sdf

@@ -1,0 +1,34 @@
+// fcqss — sdf/repetition.hpp
+// The SDF balance equations: q[producer] * production = q[consumer] *
+// consumption for every channel.  The minimal positive integer solution q is
+// the repetition vector — the paper's "minimal vector in the one-dimensional
+// T-invariant space" for marked graphs (Sec. 2).
+#ifndef FCQSS_SDF_REPETITION_HPP
+#define FCQSS_SDF_REPETITION_HPP
+
+#include <optional>
+#include <vector>
+
+#include "sdf/sdf_graph.hpp"
+
+namespace fcqss::sdf {
+
+/// Outcome of solving the balance equations.
+struct repetition_result {
+    /// Minimal positive firing counts per actor; empty when inconsistent.
+    std::vector<std::int64_t> counts;
+    /// For inconsistent graphs: a channel witnessing the rate mismatch.
+    std::optional<channel_id> inconsistent_channel;
+
+    [[nodiscard]] bool consistent() const noexcept { return !counts.empty(); }
+};
+
+/// Solves the balance equations by rational propagation over each weakly
+/// connected component, then scales to the least integer solution.
+/// Sample-rate-inconsistent graphs (Lee's terminology) yield
+/// inconsistent_channel instead of counts.
+[[nodiscard]] repetition_result repetition_vector(const sdf_graph& graph);
+
+} // namespace fcqss::sdf
+
+#endif // FCQSS_SDF_REPETITION_HPP

@@ -1,0 +1,101 @@
+#include "sdf/sdf_graph.hpp"
+
+#include "base/error.hpp"
+#include "pn/builder.hpp"
+#include "pn/net_class.hpp"
+
+namespace fcqss::sdf {
+
+actor_id sdf_graph::add_actor(const std::string& name)
+{
+    if (name.empty()) {
+        throw model_error("sdf_graph: empty actor name");
+    }
+    for (const std::string& existing : actor_names_) {
+        if (existing == name) {
+            throw model_error("sdf_graph: duplicate actor name '" + name + "'");
+        }
+    }
+    actor_names_.push_back(name);
+    return actor_names_.size() - 1;
+}
+
+channel_id sdf_graph::add_channel(actor_id producer, actor_id consumer,
+                                  std::int64_t production, std::int64_t consumption,
+                                  std::int64_t initial_tokens)
+{
+    if (producer >= actor_count() || consumer >= actor_count()) {
+        throw model_error("sdf_graph: channel endpoint out of range");
+    }
+    if (production <= 0 || consumption <= 0) {
+        throw model_error("sdf_graph: rates must be positive");
+    }
+    if (initial_tokens < 0) {
+        throw model_error("sdf_graph: negative initial tokens");
+    }
+    channels_.push_back({producer, consumer, production, consumption, initial_tokens});
+    return channels_.size() - 1;
+}
+
+const std::string& sdf_graph::actor_name(actor_id a) const
+{
+    if (a >= actor_count()) {
+        throw model_error("sdf_graph: actor id out of range");
+    }
+    return actor_names_[a];
+}
+
+const channel& sdf_graph::channel_at(channel_id c) const
+{
+    if (c >= channel_count()) {
+        throw model_error("sdf_graph: channel id out of range");
+    }
+    return channels_[c];
+}
+
+pn::petri_net to_petri_net(const sdf_graph& graph)
+{
+    pn::net_builder builder(graph.name());
+    std::vector<pn::transition_id> transitions;
+    transitions.reserve(graph.actor_count());
+    for (actor_id a = 0; a < graph.actor_count(); ++a) {
+        transitions.push_back(builder.add_transition(graph.actor_name(a)));
+    }
+    for (channel_id c = 0; c < graph.channel_count(); ++c) {
+        const channel& ch = graph.channel_at(c);
+        const pn::place_id place = builder.add_place(
+            "ch" + std::to_string(c) + "_" + graph.actor_name(ch.producer) + "_" +
+                graph.actor_name(ch.consumer),
+            ch.initial_tokens);
+        builder.add_arc(transitions[ch.producer], place, ch.production);
+        builder.add_arc(place, transitions[ch.consumer], ch.consumption);
+    }
+    return std::move(builder).build();
+}
+
+sdf_graph from_marked_graph(const pn::petri_net& net)
+{
+    if (!pn::is_marked_graph(net)) {
+        throw domain_error("from_marked_graph: '" + net.name() +
+                           "' is not a marked graph");
+    }
+    sdf_graph graph(net.name());
+    for (pn::transition_id t : net.transitions()) {
+        graph.add_actor(net.transition_name(t));
+    }
+    for (pn::place_id p : net.places()) {
+        const auto& producers = net.producers(p);
+        const auto& consumers = net.consumers(p);
+        if (producers.size() != 1 || consumers.size() != 1) {
+            throw domain_error("from_marked_graph: place '" + net.place_name(p) +
+                               "' must have exactly one producer and one consumer");
+        }
+        graph.add_channel(producers.front().transition.index(),
+                          consumers.front().transition.index(),
+                          producers.front().weight, consumers.front().weight,
+                          net.initial_tokens(p));
+    }
+    return graph;
+}
+
+} // namespace fcqss::sdf

@@ -1,0 +1,70 @@
+// fcqss — sdf/sdf_graph.hpp
+// Synchronous Dataflow graphs (Lee/Messerschmitt).  SDF graphs are the
+// paper's fully-static special case: they "can be mapped into Marked Graphs
+// where actors are transitions and arcs places" (Sec. 2).
+#ifndef FCQSS_SDF_SDF_GRAPH_HPP
+#define FCQSS_SDF_SDF_GRAPH_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pn/petri_net.hpp"
+
+namespace fcqss::sdf {
+
+/// Index of an actor within an sdf_graph.
+using actor_id = std::size_t;
+/// Index of a channel within an sdf_graph.
+using channel_id = std::size_t;
+
+/// A FIFO channel: `producer` writes `production` tokens per firing,
+/// `consumer` reads `consumption` tokens per firing; `initial_tokens` are
+/// the delays present before the first firing.
+struct channel {
+    actor_id producer = 0;
+    actor_id consumer = 0;
+    std::int64_t production = 1;
+    std::int64_t consumption = 1;
+    std::int64_t initial_tokens = 0;
+};
+
+/// A static-rate dataflow graph.
+class sdf_graph {
+public:
+    explicit sdf_graph(std::string name) : name_(std::move(name)) {}
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+    actor_id add_actor(const std::string& name);
+
+    /// Adds a channel; rates must be positive, delays non-negative.
+    channel_id add_channel(actor_id producer, actor_id consumer, std::int64_t production,
+                           std::int64_t consumption, std::int64_t initial_tokens = 0);
+
+    [[nodiscard]] std::size_t actor_count() const noexcept { return actor_names_.size(); }
+    [[nodiscard]] std::size_t channel_count() const noexcept { return channels_.size(); }
+
+    [[nodiscard]] const std::string& actor_name(actor_id a) const;
+    [[nodiscard]] const channel& channel_at(channel_id c) const;
+    [[nodiscard]] const std::vector<channel>& channels() const noexcept { return channels_; }
+
+private:
+    std::string name_;
+    std::vector<std::string> actor_names_;
+    std::vector<channel> channels_;
+};
+
+/// Maps an SDF graph onto the equivalent marked-graph Petri net: one
+/// transition per actor, one place per channel, arc weights = rates,
+/// initial marking = delays.
+[[nodiscard]] pn::petri_net to_petri_net(const sdf_graph& graph);
+
+/// Inverse view: interprets a marked-graph net as an SDF graph.  Each place
+/// must have exactly one producer and one consumer; places violating this
+/// (sources/sinks) are rejected with domain_error.
+[[nodiscard]] sdf_graph from_marked_graph(const pn::petri_net& net);
+
+} // namespace fcqss::sdf
+
+#endif // FCQSS_SDF_SDF_GRAPH_HPP

@@ -1,0 +1,109 @@
+#include "sdf/static_schedule.hpp"
+
+#include "base/error.hpp"
+
+namespace fcqss::sdf {
+
+std::string to_string(schedule_failure f)
+{
+    switch (f) {
+    case schedule_failure::none: return "none";
+    case schedule_failure::inconsistent_rates: return "inconsistent rates";
+    case schedule_failure::deadlock: return "deadlock";
+    }
+    return "unknown";
+}
+
+static_schedule compute_static_schedule(const sdf_graph& graph)
+{
+    static_schedule schedule;
+    schedule.repetitions = repetition_vector(graph);
+    if (!schedule.repetitions.consistent()) {
+        schedule.failure = schedule_failure::inconsistent_rates;
+        return schedule;
+    }
+
+    const std::size_t n = graph.actor_count();
+    std::vector<std::int64_t> remaining = schedule.repetitions.counts;
+    std::vector<std::int64_t> tokens(graph.channel_count());
+    for (channel_id c = 0; c < graph.channel_count(); ++c) {
+        tokens[c] = graph.channel_at(c).initial_tokens;
+    }
+
+    // Per-actor incoming/outgoing channels for the firing rule.
+    std::vector<std::vector<channel_id>> in_channels(n);
+    std::vector<std::vector<channel_id>> out_channels(n);
+    for (channel_id c = 0; c < graph.channel_count(); ++c) {
+        const channel& ch = graph.channel_at(c);
+        out_channels[ch.producer].push_back(c);
+        in_channels[ch.consumer].push_back(c);
+    }
+
+    const auto fireable = [&](actor_id a) {
+        if (remaining[a] == 0) {
+            return false;
+        }
+        for (channel_id c : in_channels[a]) {
+            if (tokens[c] < graph.channel_at(c).consumption) {
+                return false;
+            }
+        }
+        return true;
+    };
+
+    std::int64_t total_firings = 0;
+    for (std::int64_t q : remaining) {
+        total_firings += q;
+    }
+    schedule.firing_order.reserve(static_cast<std::size_t>(total_firings));
+
+    while (total_firings > 0) {
+        bool fired = false;
+        for (actor_id a = 0; a < n; ++a) {
+            if (!fireable(a)) {
+                continue;
+            }
+            for (channel_id c : in_channels[a]) {
+                tokens[c] -= graph.channel_at(c).consumption;
+            }
+            for (channel_id c : out_channels[a]) {
+                tokens[c] += graph.channel_at(c).production;
+            }
+            --remaining[a];
+            --total_firings;
+            schedule.firing_order.push_back(a);
+            fired = true;
+            break;
+        }
+        if (!fired) {
+            schedule.failure = schedule_failure::deadlock;
+            for (actor_id a = 0; a < n; ++a) {
+                if (remaining[a] > 0) {
+                    schedule.stalled_actors.push_back(a);
+                }
+            }
+            return schedule;
+        }
+    }
+
+    // A completed period must restore every channel to its delay count.
+    for (channel_id c = 0; c < graph.channel_count(); ++c) {
+        require_internal(tokens[c] == graph.channel_at(c).initial_tokens,
+                         "static_schedule: period did not restore channel state");
+    }
+    return schedule;
+}
+
+std::string to_string(const sdf_graph& graph, const static_schedule& schedule)
+{
+    std::string text;
+    for (std::size_t i = 0; i < schedule.firing_order.size(); ++i) {
+        if (i != 0) {
+            text += ' ';
+        }
+        text += graph.actor_name(schedule.firing_order[i]);
+    }
+    return text;
+}
+
+} // namespace fcqss::sdf

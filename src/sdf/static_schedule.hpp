@@ -1,0 +1,51 @@
+// fcqss — sdf/static_schedule.hpp
+// Fully static (compile-time) scheduling of SDF graphs, Sec. 2: compute the
+// repetition vector, then simulate token flow to produce a periodic
+// admissible sequential schedule — a *finite complete cycle* that returns
+// every channel to its initial token count.
+#ifndef FCQSS_SDF_STATIC_SCHEDULE_HPP
+#define FCQSS_SDF_STATIC_SCHEDULE_HPP
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sdf/repetition.hpp"
+#include "sdf/sdf_graph.hpp"
+
+namespace fcqss::sdf {
+
+/// Why static scheduling failed.
+enum class schedule_failure {
+    none,
+    /// Balance equations have no positive solution (rate mismatch).
+    inconsistent_rates,
+    /// Simulation stalled before completing the repetition vector —
+    /// insufficient delays on a cycle.
+    deadlock,
+};
+
+[[nodiscard]] std::string to_string(schedule_failure f);
+
+/// A static schedule: one period of actor firings.
+struct static_schedule {
+    std::vector<actor_id> firing_order;
+    repetition_result repetitions;
+    schedule_failure failure = schedule_failure::none;
+    /// When failure == deadlock: the actors still owing firings at the stall.
+    std::vector<actor_id> stalled_actors;
+
+    [[nodiscard]] bool ok() const noexcept { return failure == schedule_failure::none; }
+};
+
+/// Computes one period.  Firing policy is deterministic (lowest actor id
+/// among fireable actors with remaining firings), which reproduces the
+/// paper's Fig. 2 schedule t1 t1 t1 t1 t2 t2 t3.
+[[nodiscard]] static_schedule compute_static_schedule(const sdf_graph& graph);
+
+/// Renders e.g. "a a b" using actor names.
+[[nodiscard]] std::string to_string(const sdf_graph& graph, const static_schedule& schedule);
+
+} // namespace fcqss::sdf
+
+#endif // FCQSS_SDF_STATIC_SCHEDULE_HPP

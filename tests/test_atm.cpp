@@ -1,0 +1,320 @@
+// Tests for the ATM-server case study: the net reproduces the paper's
+// statistics, the semantics behave (EPD/PPD discard, WFQ service), the
+// functional partition is well-formed, and both implementations agree.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "base/error.hpp"
+#include "apps/atm/atm_net.hpp"
+#include "apps/atm/atm_semantics.hpp"
+#include "apps/atm/functional_partition.hpp"
+#include "apps/atm/table1.hpp"
+#include "apps/atm/testbench.hpp"
+#include "pn/net_class.hpp"
+#include "pn/structure.hpp"
+#include "qss/scheduler.hpp"
+#include "qss/task_partition.hpp"
+#include "qss/valid_schedule.hpp"
+
+namespace fcqss::atm {
+namespace {
+
+TEST(atm_net, paper_statistics)
+{
+    // Sec. 5: "a FCPN containing 49 transitions and 41 places, of which 11
+    // non-deterministic choices".
+    const pn::petri_net net = build_atm_net();
+    const pn::net_statistics stats = pn::statistics(net);
+    EXPECT_EQ(stats.transitions, 49u);
+    EXPECT_EQ(stats.places, 41u);
+    EXPECT_EQ(stats.choices, 11u);
+    EXPECT_EQ(stats.source_transitions, 2u); // Cell and Tick
+    EXPECT_TRUE(pn::is_free_choice(net));
+    EXPECT_TRUE(pn::is_equal_conflict_free_choice(net));
+}
+
+TEST(atm_net, schedulable_with_120_reductions)
+{
+    // Sec. 5: "a valid schedule containing 120 finite complete cycles, one
+    // for each different T-reduction".
+    const pn::petri_net net = build_atm_net();
+    const qss::qss_result result = qss::quasi_static_schedule(net);
+    ASSERT_TRUE(result.schedulable) << result.diagnosis;
+    EXPECT_EQ(result.entries.size(), 120u);
+    EXPECT_EQ(qss::check_valid_schedule(net, result.cycles()), std::nullopt);
+}
+
+TEST(atm_net, two_tasks)
+{
+    // Sec. 5: "a software implementation composed of two tasks, one for each
+    // input with independent firing rate".
+    const pn::petri_net net = build_atm_net();
+    const qss::qss_result result = qss::quasi_static_schedule(net);
+    ASSERT_TRUE(result.schedulable);
+    const qss::task_partition partition = qss::partition_tasks(net, result);
+    ASSERT_EQ(partition.tasks.size(), 2u);
+    EXPECT_EQ(partition.tasks[0].name, "task_Cell");
+    EXPECT_EQ(partition.tasks[1].name, "task_Tick");
+    // The two rate families share no transition.
+    std::set<std::int32_t> cell_members;
+    for (pn::transition_id t : partition.tasks[0].members) {
+        cell_members.insert(t.value());
+    }
+    for (pn::transition_id t : partition.tasks[1].members) {
+        EXPECT_FALSE(cell_members.contains(t.value()));
+    }
+    EXPECT_EQ(partition.tasks[0].members.size() + partition.tasks[1].members.size(), 49u);
+}
+
+TEST(atm_net, module_map_partitions_transitions)
+{
+    const pn::petri_net net = build_atm_net();
+    std::size_t total = 0;
+    for (module m : {module::msd, module::buffer, module::wfq, module::cell_extract,
+                     module::arbiter_counter}) {
+        total += transitions_of(net, m).size();
+    }
+    EXPECT_EQ(total, 49u);
+    EXPECT_EQ(module_of("Cell"), module::msd);
+    EXPECT_EQ(module_of("Tick"), module::arbiter_counter);
+    EXPECT_EQ(module_of("emit_cell"), module::cell_extract);
+    EXPECT_THROW((void)module_of("unknown_t"), fcqss::model_error);
+    EXPECT_EQ(to_string(module::wfq), "WFQ_SCHEDULING");
+}
+
+TEST(semantics, epd_rejects_above_threshold)
+{
+    atm_state state(2);
+    state.epd_threshold = 0; // everything rejected
+    state.current_cell = atm_cell{0, 0, cell_kind::start_of_message, false};
+    const pn::petri_net net = build_atm_net();
+    const auto oracle = make_choice_oracle(net, state);
+    EXPECT_EQ(oracle(net.find_place("som_check")), 1); // reject
+    apply_action("som_reject", state);
+    EXPECT_TRUE(state.flows[0].dropping);
+    EXPECT_EQ(state.dropped_cells, 1);
+
+    // Continuations of the dropped message are discarded too (PPD)...
+    state.current_cell = atm_cell{1, 0, cell_kind::continuation, false};
+    EXPECT_EQ(oracle(net.find_place("com_check")), 1);
+    // ...and the end of message resets the mark.
+    state.current_cell = atm_cell{2, 0, cell_kind::end_of_message, false};
+    EXPECT_EQ(oracle(net.find_place("eom_check")), 1);
+    apply_action("eom_drop", state);
+    EXPECT_FALSE(state.flows[0].dropping);
+}
+
+TEST(semantics, store_and_wfq_selection)
+{
+    atm_state state(3);
+    const pn::petri_net net = build_atm_net();
+    const auto oracle = make_choice_oracle(net, state);
+
+    EXPECT_TRUE(state.buffer_empty());
+    EXPECT_EQ(oracle(net.find_place("ce_state")), 0); // empty
+
+    // Store a SOM on VC 1 and stamp it.
+    state.current_cell = atm_cell{0, 1, cell_kind::start_of_message, false};
+    apply_action("som_accept", state);
+    apply_action("buf_store_som", state);
+    EXPECT_EQ(state.occupancy, 1);
+    EXPECT_FALSE(state.buffer_empty());
+    EXPECT_EQ(oracle(net.find_place("ce_state")), 1); // nonempty
+    EXPECT_TRUE(state.flows[1].backlogged);
+
+    // Select and dequeue it.
+    apply_action("ce_select", state);
+    EXPECT_EQ(state.selected_vc, 1);
+    EXPECT_EQ(oracle(net.find_place("flow_after")), 0); // goes empty
+    apply_action("flow_close", state);
+    apply_action("ce_dequeue", state);
+    ASSERT_TRUE(state.out_cell.has_value());
+    apply_action("emit_cell", state);
+    EXPECT_EQ(state.emitted.size(), 1u);
+    EXPECT_EQ(state.occupancy, 0);
+}
+
+TEST(semantics, wfq_picks_minimum_finish_time)
+{
+    atm_state state(3);
+    state.flows[0].queue.push_back({0, 0, cell_kind::start_of_message, false});
+    state.flows[0].finish_time = 90;
+    state.flows[2].queue.push_back({1, 2, cell_kind::start_of_message, false});
+    state.flows[2].finish_time = 30;
+    EXPECT_EQ(state.pick_min_finish(), 2);
+    state.flows[2].queue.clear();
+    EXPECT_EQ(state.pick_min_finish(), 0);
+    state.flows[0].queue.clear();
+    EXPECT_EQ(state.pick_min_finish(), -1);
+}
+
+TEST(semantics, tick_slot_counting)
+{
+    atm_state state(1);
+    state.ticks_per_slot = 3;
+    const pn::petri_net net = build_atm_net();
+    const auto oracle = make_choice_oracle(net, state);
+    // Phase advances before the choice is read: boundary only when the
+    // counter wraps to zero.
+    apply_action("tick_count", state);
+    EXPECT_EQ(oracle(net.find_place("tick_kind")), 1); // phase 1 -> mid
+    apply_action("tick_count", state);
+    EXPECT_EQ(oracle(net.find_place("tick_kind")), 1); // phase 2 -> mid
+    apply_action("tick_count", state);
+    EXPECT_EQ(oracle(net.find_place("tick_kind")), 0); // wrapped -> boundary
+}
+
+TEST(semantics, unknown_names_throw)
+{
+    atm_state state(1);
+    EXPECT_THROW(apply_action("no_such_transition", state), fcqss::model_error);
+    EXPECT_THROW((void)atm_state(0), fcqss::model_error);
+}
+
+TEST(testbench, deterministic_and_well_formed)
+{
+    const testbench_options options;
+    const auto a = make_testbench(options);
+    const auto b = make_testbench(options);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].time, b[i].time);
+        EXPECT_EQ(a[i].is_cell, b[i].is_cell);
+        EXPECT_EQ(a[i].cell.id, b[i].cell.id);
+    }
+
+    int cells = 0;
+    std::int64_t last_time = -1;
+    std::vector<int> open_message(static_cast<std::size_t>(options.flow_count), 0);
+    for (const input_event& event : a) {
+        EXPECT_GE(event.time, last_time);
+        last_time = event.time;
+        if (!event.is_cell) {
+            EXPECT_EQ(event.time % 2, 0) << "ticks on even instants";
+            continue;
+        }
+        EXPECT_EQ(event.time % 2, 1) << "cells on odd instants";
+        ++cells;
+        auto& open = open_message[static_cast<std::size_t>(event.cell.vc)];
+        switch (event.cell.kind) {
+        case cell_kind::start_of_message:
+            EXPECT_EQ(open, 0) << "SOM while a message is open";
+            open = 1;
+            break;
+        case cell_kind::continuation:
+            EXPECT_EQ(open, 1);
+            break;
+        case cell_kind::end_of_message:
+            EXPECT_EQ(open, 1);
+            open = 0;
+            break;
+        }
+    }
+    EXPECT_EQ(cells, options.cell_count);
+}
+
+TEST(testbench, validates_options)
+{
+    testbench_options bad;
+    bad.tick_period = 7;
+    EXPECT_THROW((void)make_testbench(bad), fcqss::model_error);
+    bad = {};
+    bad.cell_count = 0;
+    EXPECT_THROW((void)make_testbench(bad), fcqss::model_error);
+}
+
+TEST(functional, partition_is_closed_and_schedulable)
+{
+    const pn::petri_net net = build_atm_net();
+    const functional_partition partition = build_functional_partition(net);
+    ASSERT_EQ(partition.modules.size(), 5u);
+    EXPECT_FALSE(partition.channels.empty());
+
+    std::size_t total_transitions = 0;
+    for (const module_task& m : partition.modules) {
+        EXPECT_TRUE(m.schedule.schedulable) << m.name;
+        // Module transitions = original members + one recv per cut-in place.
+        total_transitions += m.subnet.transition_count() - m.recv_source_of_place.size();
+    }
+    EXPECT_EQ(total_transitions, 49u);
+
+    // Every cut channel has a producer-side send and a consumer-side recv.
+    for (const cut_channel& channel : partition.channels) {
+        const module_task& consumer = partition.module_named(channel.consumer_module);
+        EXPECT_TRUE(consumer.recv_source_of_place.contains(channel.place_name));
+        const module_task& producer = partition.module_named(channel.producer_module);
+        bool sends = false;
+        for (const auto& [transition, sends_list] : producer.sends_of_transition) {
+            for (const cut_channel& c : sends_list) {
+                sends = sends || c.place_name == channel.place_name;
+            }
+        }
+        EXPECT_TRUE(sends) << channel.place_name;
+    }
+    EXPECT_THROW((void)partition.module_named("NOPE"), fcqss::model_error);
+}
+
+TEST(functional, msd_owns_cell_and_counter_owns_tick)
+{
+    const functional_partition partition = build_functional_partition(build_atm_net());
+    EXPECT_EQ(partition.module_named("MSD").external_sources,
+              (std::vector<std::string>{"Cell"}));
+    EXPECT_EQ(partition.module_named("ARBITER_COUNTER").external_sources,
+              (std::vector<std::string>{"Tick"}));
+}
+
+TEST(table1, implementations_agree_and_qss_wins)
+{
+    testbench_options options;
+    options.cell_count = 50; // the paper's testbench
+    const auto events = make_testbench(options);
+
+    const implementation_report qss = run_qss_implementation(events, options.flow_count);
+    const implementation_report fun =
+        run_functional_implementation(events, options.flow_count);
+
+    // Table I row 1: number of tasks.
+    EXPECT_EQ(qss.task_count, 2);
+    EXPECT_EQ(fun.task_count, 5);
+
+    // Functional equivalence: identical emission order and discard counts.
+    ASSERT_EQ(qss.emitted.size(), fun.emitted.size());
+    for (std::size_t i = 0; i < qss.emitted.size(); ++i) {
+        EXPECT_EQ(qss.emitted[i].id, fun.emitted[i].id);
+        EXPECT_EQ(qss.emitted[i].vc, fun.emitted[i].vc);
+    }
+    EXPECT_EQ(qss.dropped_cells, fun.dropped_cells);
+    EXPECT_EQ(qss.idle_slots, fun.idle_slots);
+
+    // Every arriving cell is accounted for: emitted or dropped.
+    EXPECT_EQ(static_cast<std::int64_t>(qss.emitted.size()) + qss.dropped_cells, 50);
+
+    // Table I rows 2 and 3: QSS is smaller and faster (the paper's shape).
+    EXPECT_LT(qss.lines_of_c, fun.lines_of_c);
+    EXPECT_LT(qss.clock_cycles, fun.clock_cycles);
+
+    // The whole gap is activation + queue overhead: the functional split
+    // processes the same events with strictly more activations.
+    EXPECT_GT(fun.rtos.events_processed, qss.rtos.events_processed);
+}
+
+TEST(table1, robust_across_seeds)
+{
+    for (std::uint64_t seed : {7ull, 42ull, 2024ull}) {
+        testbench_options options;
+        options.seed = seed;
+        options.cell_count = 30;
+        const auto events = make_testbench(options);
+        const implementation_report qss =
+            run_qss_implementation(events, options.flow_count);
+        const implementation_report fun =
+            run_functional_implementation(events, options.flow_count);
+        ASSERT_EQ(qss.emitted.size(), fun.emitted.size()) << "seed " << seed;
+        EXPECT_EQ(qss.dropped_cells, fun.dropped_cells) << "seed " << seed;
+        EXPECT_LT(qss.clock_cycles, fun.clock_cycles) << "seed " << seed;
+    }
+}
+
+} // namespace
+} // namespace fcqss::atm

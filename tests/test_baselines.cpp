@@ -1,0 +1,108 @@
+// Tests for the Lin safe-net baseline: it synthesizes safe nets, and it
+// rejects exactly the inputs the paper says it cannot handle — multirate
+// nets and nets with source transitions — which QSS accepts.
+#include <gtest/gtest.h>
+
+#include "base/error.hpp"
+#include "baselines/lin_synthesis.hpp"
+#include "nets/paper_nets.hpp"
+#include "pn/builder.hpp"
+#include "qss/scheduler.hpp"
+
+namespace fcqss::baselines {
+namespace {
+
+// A safe autonomous net: 1-token ring with a choice.
+pn::petri_net safe_choice_ring()
+{
+    pn::net_builder b("safe_ring");
+    const auto p1 = b.add_place("p1", 1);
+    const auto p2 = b.add_place("p2");
+    const auto p3 = b.add_place("p3");
+    const auto split = b.add_transition("split"); // from p1
+    const auto left = b.add_transition("left");
+    const auto right = b.add_transition("right");
+    b.add_arc(p1, split);
+    b.add_arc(split, p2);
+    b.add_arc(p2, left);
+    b.add_arc(p2, right);
+    b.add_arc(left, p3);
+    b.add_arc(right, p3);
+    const auto back = b.add_transition("back");
+    b.add_arc(p3, back);
+    b.add_arc(back, p1);
+    return std::move(b).build();
+}
+
+TEST(lin, synthesizes_safe_net)
+{
+    const pn::petri_net net = safe_choice_ring();
+    const lin_program program = lin_synthesize(net);
+    ASSERT_TRUE(program.ok()) << to_string(program.failure);
+    EXPECT_EQ(program.states.size(), 3u); // token in p1 / p2 / p3
+    EXPECT_GT(program.code_size(), 3u);
+
+    const std::string code = emit_lin_c(net, program);
+    EXPECT_NE(code.find("switch (state)"), std::string::npos);
+    EXPECT_NE(code.find("action_split"), std::string::npos);
+    EXPECT_NE(code.find("pick(2)"), std::string::npos); // the choice state
+}
+
+TEST(lin, rejects_multirate_marked_graph)
+{
+    // Fig. 2 needs two tokens in p1 before t2 fires: not safe.  QSS handles
+    // it; Lin's method cannot — the paper's headline comparison.
+    const pn::petri_net net = nets::figure_2();
+    const lin_program program = lin_synthesize(net);
+    EXPECT_FALSE(program.ok());
+    // Fig. 2 also has a source transition; strip that objection by checking
+    // the pure multirate core too.
+    pn::net_builder b("multirate_core");
+    const auto p1 = b.add_place("p1", 2);
+    const auto p2 = b.add_place("p2");
+    const auto t = b.add_transition("t");
+    b.add_arc(p1, t, 2);
+    b.add_arc(t, p2, 2);
+    const auto u = b.add_transition("u");
+    b.add_arc(p2, u, 2);
+    b.add_arc(u, p1, 2);
+    const lin_program core = lin_synthesize(std::move(b).build());
+    EXPECT_EQ(core.failure, lin_failure::not_safe);
+}
+
+TEST(lin, rejects_source_transitions)
+{
+    const lin_program program = lin_synthesize(nets::figure_3a());
+    EXPECT_EQ(program.failure, lin_failure::has_source_transitions);
+    EXPECT_NE(to_string(program.failure).find("source"), std::string::npos);
+
+    // The same specification is QSS-schedulable: the paper's point.
+    EXPECT_TRUE(qss::quasi_static_schedule(nets::figure_3a()).schedulable);
+}
+
+TEST(lin, state_budget)
+{
+    lin_options options;
+    options.max_states = 1;
+    const lin_program program = lin_synthesize(safe_choice_ring(), options);
+    EXPECT_EQ(program.failure, lin_failure::state_space_too_large);
+    EXPECT_THROW((void)emit_lin_c(safe_choice_ring(), program), domain_error);
+}
+
+TEST(lin, dead_marking_becomes_return)
+{
+    pn::net_builder b("dies");
+    const auto p = b.add_place("p", 1);
+    const auto t = b.add_transition("t");
+    const auto q = b.add_place("q");
+    b.add_arc(p, t);
+    b.add_arc(t, q);
+    const pn::petri_net net = std::move(b).build();
+    const lin_program program = lin_synthesize(net);
+    ASSERT_TRUE(program.ok());
+    const std::string code = emit_lin_c(net, program);
+    EXPECT_NE(code.find("return; /* dead marking */"), std::string::npos);
+}
+
+} // namespace
+} // namespace fcqss::baselines

@@ -1,0 +1,100 @@
+// Integration: the emitted C must be accepted by the host C compiler and,
+// with default hooks, run to completion producing the expected trace.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "apps/atm/atm_net.hpp"
+#include "codegen/c_emitter.hpp"
+#include "codegen/task_codegen.hpp"
+#include "nets/paper_nets.hpp"
+#include "qss/scheduler.hpp"
+#include "qss/task_partition.hpp"
+
+namespace fcqss::cgen {
+namespace {
+
+bool have_cc()
+{
+    return std::system("cc --version > /dev/null 2>&1") == 0;
+}
+
+std::string generate_for(const pn::petri_net& net)
+{
+    const qss::qss_result result = qss::quasi_static_schedule(net);
+    EXPECT_TRUE(result.schedulable);
+    const qss::task_partition partition = qss::partition_tasks(net, result);
+    emitter_options options;
+    options.emit_default_hooks = true;
+    options.demo_rounds = 2;
+    return emit_c(generate_program(net, result, partition), options);
+}
+
+// Writes, compiles (-std=c99 -Wall -Werror) and runs the program; returns
+// the captured stdout.
+std::string compile_and_run(const std::string& code, const std::string& stem)
+{
+    const std::string dir = ::testing::TempDir();
+    const std::string c_path = dir + stem + ".c";
+    const std::string bin_path = dir + stem + ".bin";
+    const std::string out_path = dir + stem + ".out";
+    {
+        std::ofstream file(c_path);
+        file << code;
+    }
+    const std::string compile =
+        "cc -std=c99 -Wall -Werror -o " + bin_path + " " + c_path + " 2> " + out_path;
+    EXPECT_EQ(std::system(compile.c_str()), 0) << "generated C failed to compile";
+    const std::string run = bin_path + " > " + out_path;
+    EXPECT_EQ(std::system(run.c_str()), 0) << "generated binary crashed";
+
+    std::ifstream captured(out_path);
+    std::string output((std::istreambuf_iterator<char>(captured)),
+                       std::istreambuf_iterator<char>());
+    std::remove(c_path.c_str());
+    std::remove(bin_path.c_str());
+    std::remove(out_path.c_str());
+    return output;
+}
+
+TEST(compile, figure_4_runs)
+{
+    if (!have_cc()) {
+        GTEST_SKIP() << "no host C compiler";
+    }
+    const std::string output = compile_and_run(generate_for(nets::figure_4()), "fig4");
+    // Round-robin default hooks: first activation takes branch 0 (t2), the
+    // second branch 1 (t3), so both alternatives appear in the trace.
+    EXPECT_NE(output.find("action_t1"), std::string::npos);
+    EXPECT_NE(output.find("action_t2"), std::string::npos);
+    EXPECT_NE(output.find("action_t3"), std::string::npos);
+    EXPECT_NE(output.find("action_t5"), std::string::npos);
+}
+
+TEST(compile, figure_5_runs)
+{
+    if (!have_cc()) {
+        GTEST_SKIP() << "no host C compiler";
+    }
+    const std::string output = compile_and_run(generate_for(nets::figure_5()), "fig5");
+    EXPECT_NE(output.find("action_t6"), std::string::npos);
+    EXPECT_NE(output.find("action_t9"), std::string::npos);
+}
+
+TEST(compile, atm_server_runs)
+{
+    if (!have_cc()) {
+        GTEST_SKIP() << "no host C compiler";
+    }
+    const std::string output = compile_and_run(generate_for(atm::build_atm_net()), "atm");
+    EXPECT_NE(output.find("action_Cell"), std::string::npos);
+    EXPECT_NE(output.find("action_Tick"), std::string::npos);
+    EXPECT_NE(output.find("action_msd_classify"), std::string::npos);
+}
+
+} // namespace
+} // namespace fcqss::cgen

@@ -1,0 +1,128 @@
+// Tests for the extension modules: the code/buffer tradeoff explorer (the
+// paper's proposed future work) and the footnote-2 executability check.
+#include <gtest/gtest.h>
+
+#include "base/error.hpp"
+#include "nets/paper_nets.hpp"
+#include "pn/builder.hpp"
+#include "qss/executability.hpp"
+#include "qss/scheduler.hpp"
+#include "qss/tradeoff.hpp"
+#include "test_util.hpp"
+
+namespace fcqss::qss {
+namespace {
+
+TEST(tradeoff, buffer_bounds_of_fig4)
+{
+    const pn::petri_net net = nets::figure_4();
+    const qss_result result = quasi_static_schedule(net);
+    ASSERT_TRUE(result.schedulable);
+    const auto bounds = schedule_buffer_bounds(net, result);
+    // p1 holds at most 1 token, p2 at most 2 (t4 waits for two), p3 at most 2.
+    EXPECT_EQ(bounds[net.find_place("p1").index()], 1);
+    EXPECT_EQ(bounds[net.find_place("p2").index()], 2);
+    EXPECT_EQ(bounds[net.find_place("p3").index()], 2);
+}
+
+TEST(tradeoff, curve_is_monotone_in_unroll)
+{
+    const pn::petri_net net = nets::figure_4();
+    const qss_result result = quasi_static_schedule(net);
+    ASSERT_TRUE(result.schedulable);
+    const auto curve = explore_tradeoff(net, result, 4);
+    ASSERT_EQ(curve.size(), 4u);
+    for (std::size_t i = 0; i < curve.size(); ++i) {
+        EXPECT_EQ(curve[i].unroll, static_cast<std::int64_t>(i + 1));
+        if (i > 0) {
+            // More unrolling: strictly more static code...
+            EXPECT_GT(curve[i].schedule_length, curve[i - 1].schedule_length);
+            // ...and at least as much buffering (input bursts accumulate).
+            EXPECT_GE(curve[i].total_buffer_tokens, curve[i - 1].total_buffer_tokens);
+        }
+    }
+    // Unrolling Fig. 4 genuinely buffers more: the k=4 batch stores 4 tokens
+    // in p1 before draining.
+    EXPECT_GT(curve[3].total_buffer_tokens, curve[0].total_buffer_tokens);
+    EXPECT_GE(curve[3].max_place_tokens, 4);
+}
+
+TEST(tradeoff, schedule_length_scales_linearly)
+{
+    const pn::petri_net net = nets::figure_3a();
+    const qss_result result = quasi_static_schedule(net);
+    const auto curve = explore_tradeoff(net, result, 3);
+    ASSERT_EQ(curve.size(), 3u);
+    EXPECT_EQ(curve[1].schedule_length, 2 * curve[0].schedule_length);
+    EXPECT_EQ(curve[2].schedule_length, 3 * curve[0].schedule_length);
+}
+
+TEST(tradeoff, rejects_unschedulable_input)
+{
+    const pn::petri_net net = nets::figure_3b();
+    const qss_result result = quasi_static_schedule(net);
+    EXPECT_THROW((void)schedule_buffer_bounds(net, result), domain_error);
+    EXPECT_THROW((void)explore_tradeoff(net, result), domain_error);
+    const qss_result ok = quasi_static_schedule(nets::figure_3a());
+    EXPECT_THROW((void)explore_tradeoff(nets::figure_3a(), ok, 0), domain_error);
+}
+
+TEST(executability, paper_nets_are_executable)
+{
+    for (const pn::petri_net& net :
+         {nets::figure_2(), nets::figure_3a(), nets::figure_4(), nets::figure_5()}) {
+        const qss_result result = quasi_static_schedule(net);
+        ASSERT_TRUE(result.schedulable) << net.name();
+        EXPECT_EQ(check_executability(net, result), std::nullopt) << net.name();
+    }
+}
+
+TEST(executability, random_nets_are_executable)
+{
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+        const pn::petri_net net = testutil::random_free_choice_net(seed * 131 + 3);
+        const qss_result result = quasi_static_schedule(net);
+        ASSERT_TRUE(result.schedulable);
+        executability_options options;
+        options.random_rounds = 16;
+        EXPECT_EQ(check_executability(net, result, options), std::nullopt)
+            << net.name();
+    }
+}
+
+TEST(executability, detects_cross_cycle_blocking)
+{
+    // A hand-built pathological witness for the check itself: two "cycles"
+    // over a shared marked fragment where one ordering blocks.  The second
+    // sequence consumes the shared token and fails to restore it before the
+    // first sequence needs it, so the mixed replay must be flagged.
+    pn::net_builder b("blocker");
+    const auto src = b.add_transition("src");
+    const auto p = b.add_place("p");
+    const auto shared = b.add_place("shared", 1);
+    const auto take = b.add_transition("take");
+    const auto give = b.add_transition("give");
+    const auto p2 = b.add_place("p2");
+    b.add_arc(src, p);
+    b.add_arc(p, take);
+    b.add_arc(shared, take);
+    b.add_arc(take, p2);
+    b.add_arc(p2, give);
+    b.add_arc(give, shared);
+    const pn::petri_net net = std::move(b).build();
+
+    // Forge a result whose second "cycle" leaves the shared token consumed.
+    qss_result forged = quasi_static_schedule(net);
+    ASSERT_TRUE(forged.schedulable);
+    ASSERT_EQ(forged.entries.size(), 1u);
+    schedule_entry broken = forged.entries.front();
+    broken.analysis.cycle = {src, take}; // no give: token not restored
+    forged.entries.push_back(broken);
+
+    const auto failure = check_executability(net, forged);
+    ASSERT_TRUE(failure.has_value());
+    EXPECT_FALSE(failure->context.empty());
+}
+
+} // namespace
+} // namespace fcqss::qss

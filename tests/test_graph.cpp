@@ -1,0 +1,151 @@
+// Unit tests for the digraph substrate: adjacency, traversal and SCCs.
+#include <gtest/gtest.h>
+
+#include "base/error.hpp"
+#include "graph/digraph.hpp"
+#include "graph/scc.hpp"
+#include "graph/traversal.hpp"
+
+namespace fcqss::graph {
+namespace {
+
+digraph chain(std::size_t n)
+{
+    digraph g(n);
+    for (std::size_t v = 0; v + 1 < n; ++v) {
+        g.add_edge(v, v + 1);
+    }
+    return g;
+}
+
+TEST(digraph, construction)
+{
+    digraph g(3);
+    EXPECT_EQ(g.size(), 3u);
+    EXPECT_EQ(g.edge_count(), 0u);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(2, 0);
+    EXPECT_EQ(g.edge_count(), 3u);
+    EXPECT_EQ(g.successors(0), (std::vector<std::size_t>{1}));
+    EXPECT_EQ(g.predecessors(0), (std::vector<std::size_t>{2}));
+    EXPECT_EQ(g.add_vertex(), 3u);
+    EXPECT_THROW(g.add_edge(0, 9), model_error);
+    EXPECT_THROW((void)g.successors(9), model_error);
+}
+
+TEST(digraph, reversed)
+{
+    digraph g = chain(3);
+    const digraph r = g.reversed();
+    EXPECT_EQ(r.successors(2), (std::vector<std::size_t>{1}));
+    EXPECT_EQ(r.successors(1), (std::vector<std::size_t>{0}));
+    EXPECT_TRUE(r.successors(0).empty());
+}
+
+TEST(traversal, reachability)
+{
+    digraph g(4);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    const auto seen = reachable_from(g, 0);
+    EXPECT_TRUE(seen[0]);
+    EXPECT_TRUE(seen[1]);
+    EXPECT_TRUE(seen[2]);
+    EXPECT_FALSE(seen[3]);
+
+    const auto multi = reachable_from_any(g, {3, 1});
+    EXPECT_FALSE(multi[0]);
+    EXPECT_TRUE(multi[1]);
+    EXPECT_TRUE(multi[2]);
+    EXPECT_TRUE(multi[3]);
+}
+
+TEST(traversal, weak_connectivity)
+{
+    EXPECT_TRUE(is_weakly_connected(digraph(0)));
+    EXPECT_TRUE(is_weakly_connected(chain(4)));
+    digraph disconnected(3);
+    disconnected.add_edge(0, 1);
+    EXPECT_FALSE(is_weakly_connected(disconnected));
+}
+
+TEST(traversal, topological_order)
+{
+    digraph g(4);
+    g.add_edge(3, 1);
+    g.add_edge(1, 0);
+    g.add_edge(3, 2);
+    const auto order = topological_order(g);
+    ASSERT_TRUE(order.has_value());
+    // Deterministic: smallest ready vertex first.
+    EXPECT_EQ(*order, (std::vector<std::size_t>{3, 1, 0, 2}));
+    EXPECT_FALSE(has_cycle(g));
+
+    digraph cyclic(2);
+    cyclic.add_edge(0, 1);
+    cyclic.add_edge(1, 0);
+    EXPECT_EQ(topological_order(cyclic), std::nullopt);
+    EXPECT_TRUE(has_cycle(cyclic));
+}
+
+TEST(scc, single_cycle)
+{
+    digraph g(3);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(2, 0);
+    const scc_result result = strongly_connected_components(g);
+    EXPECT_EQ(result.component_count(), 1u);
+    EXPECT_EQ(result.members[0], (std::vector<std::size_t>{0, 1, 2}));
+    EXPECT_TRUE(is_strongly_connected(g));
+}
+
+TEST(scc, chain_gives_singletons)
+{
+    const digraph g = chain(4);
+    const scc_result result = strongly_connected_components(g);
+    EXPECT_EQ(result.component_count(), 4u);
+    EXPECT_FALSE(is_strongly_connected(g));
+}
+
+TEST(scc, two_cycles_with_bridge)
+{
+    digraph g(6);
+    g.add_edge(0, 1);
+    g.add_edge(1, 0);
+    g.add_edge(1, 2); // bridge
+    g.add_edge(2, 3);
+    g.add_edge(3, 4);
+    g.add_edge(4, 2);
+    g.add_edge(4, 5);
+    const scc_result result = strongly_connected_components(g);
+    EXPECT_EQ(result.component_count(), 3u);
+    EXPECT_EQ(result.component[0], result.component[1]);
+    EXPECT_EQ(result.component[2], result.component[3]);
+    EXPECT_EQ(result.component[2], result.component[4]);
+    EXPECT_NE(result.component[0], result.component[2]);
+    EXPECT_NE(result.component[5], result.component[2]);
+}
+
+TEST(scc, empty_graph)
+{
+    const scc_result result = strongly_connected_components(digraph(0));
+    EXPECT_EQ(result.component_count(), 0u);
+    EXPECT_FALSE(is_strongly_connected(digraph(0)));
+}
+
+TEST(scc, deep_graph_no_stack_overflow)
+{
+    // Iterative Tarjan must survive a 100k-vertex path with a back edge.
+    const std::size_t n = 100000;
+    digraph g(n);
+    for (std::size_t v = 0; v + 1 < n; ++v) {
+        g.add_edge(v, v + 1);
+    }
+    g.add_edge(n - 1, 0);
+    EXPECT_TRUE(is_strongly_connected(g));
+}
+
+} // namespace
+} // namespace fcqss::graph

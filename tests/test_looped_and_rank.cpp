@@ -1,0 +1,211 @@
+// Tests for SDF looped-schedule compression / single-appearance schedules
+// and the free-choice Rank Theorem module.
+#include <gtest/gtest.h>
+
+#include "base/error.hpp"
+#include "nets/paper_nets.hpp"
+#include "pn/builder.hpp"
+#include "pn/properties.hpp"
+#include "pn/rank_theorem.hpp"
+#include "sdf/buffer_bounds.hpp"
+#include "sdf/looped_schedule.hpp"
+#include "sdf/sdf_graph.hpp"
+#include "sdf/static_schedule.hpp"
+
+namespace fcqss {
+namespace {
+
+TEST(looped, compress_figure_2_schedule)
+{
+    const auto graph = sdf::from_marked_graph(nets::figure_2());
+    const auto flat = sdf::compute_static_schedule(graph);
+    ASSERT_TRUE(flat.ok());
+    const auto looped = sdf::compress(flat.firing_order);
+    // t1 t1 t1 t1 t2 t2 t3 -> (4 t1) (2 t2) t3: single appearance.
+    EXPECT_EQ(to_string(graph, looped), "(4 t1) (2 t2) t3");
+    EXPECT_EQ(looped.appearance_count(), 3u);
+    EXPECT_EQ(sdf::flatten(looped), flat.firing_order);
+}
+
+TEST(looped, compress_periodic_block)
+{
+    // a b a b a b -> (3 a b).
+    const std::vector<sdf::actor_id> flat{0, 1, 0, 1, 0, 1};
+    const auto looped = sdf::compress(flat);
+    EXPECT_EQ(sdf::flatten(looped), flat);
+    EXPECT_EQ(looped.appearance_count(), 2u);
+    ASSERT_EQ(looped.nodes.size(), 1u);
+    EXPECT_EQ(looped.nodes.front().count, 3);
+}
+
+TEST(looped, roundtrip_property)
+{
+    // Random firing orders always survive compress/flatten.
+    std::uint64_t state = 42;
+    const auto rnd = [&state](std::uint64_t bound) {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        return (state * 0x2545f4914f6cdd1dULL) % bound;
+    };
+    for (int round = 0; round < 40; ++round) {
+        std::vector<sdf::actor_id> flat;
+        const std::size_t length = 1 + rnd(24);
+        for (std::size_t i = 0; i < length; ++i) {
+            flat.push_back(rnd(3));
+        }
+        const auto looped = sdf::compress(flat);
+        EXPECT_EQ(sdf::flatten(looped), flat) << "round " << round;
+    }
+}
+
+TEST(looped, single_appearance_for_chain)
+{
+    const auto graph = sdf::from_marked_graph(nets::figure_2());
+    const auto sas = sdf::single_appearance_schedule(graph);
+    ASSERT_FALSE(sas.nodes.empty());
+    EXPECT_EQ(to_string(graph, sas), "(4 t1) (2 t2) t3");
+    EXPECT_TRUE(sdf::is_admissible(graph, sas));
+    EXPECT_EQ(sas.appearance_count(), graph.actor_count());
+}
+
+TEST(looped, sas_vs_flat_buffer_tradeoff)
+{
+    // up(1->3) then down(2->1): interleaving reduces the middle buffer
+    // compared to the single-appearance batch.
+    sdf::sdf_graph graph("updown");
+    const auto up = graph.add_actor("up");
+    const auto down = graph.add_actor("down");
+    graph.add_channel(up, down, 3, 2);
+
+    const auto flat = sdf::compute_static_schedule(graph);
+    ASSERT_TRUE(flat.ok());
+    const auto flat_bounds = sdf::buffer_bounds(graph, flat);
+
+    const auto sas = sdf::single_appearance_schedule(graph);
+    ASSERT_FALSE(sas.nodes.empty());
+    const auto sas_bounds = sdf::looped_buffer_bounds(graph, sas);
+
+    EXPECT_LE(sas.appearance_count(), 2u);
+    EXPECT_GE(sas_bounds[0], flat_bounds[0]); // code-min schedule buffers more
+    EXPECT_EQ(sas_bounds[0], 6);              // (2 up) fills 6 before down runs
+}
+
+TEST(looped, sas_uses_delays_to_break_cycles)
+{
+    // a -> b -> a with enough delay on the back edge for one full period.
+    sdf::sdf_graph graph("cycle");
+    const auto a = graph.add_actor("a");
+    const auto b = graph.add_actor("b");
+    graph.add_channel(a, b, 1, 1);
+    graph.add_channel(b, a, 1, 1, 1);
+    const auto sas = sdf::single_appearance_schedule(graph);
+    ASSERT_FALSE(sas.nodes.empty());
+    EXPECT_TRUE(sdf::is_admissible(graph, sas));
+
+    // Without the delay there is no single-appearance order.
+    sdf::sdf_graph stuck("stuck");
+    const auto c = stuck.add_actor("a");
+    const auto d = stuck.add_actor("b");
+    stuck.add_channel(c, d, 1, 1);
+    stuck.add_channel(d, c, 1, 1, 0);
+    EXPECT_TRUE(sdf::single_appearance_schedule(stuck).nodes.empty());
+}
+
+TEST(looped, admissibility_rejects_underflow)
+{
+    sdf::sdf_graph graph("pair");
+    const auto a = graph.add_actor("a");
+    const auto b = graph.add_actor("b");
+    graph.add_channel(a, b, 1, 1);
+    sdf::looped_schedule wrong;
+    sdf::schedule_node node;
+    node.actor = b; // consumes before anything was produced
+    wrong.nodes.push_back(node);
+    EXPECT_FALSE(sdf::is_admissible(graph, wrong));
+    EXPECT_THROW((void)sdf::looped_buffer_bounds(graph, wrong), domain_error);
+}
+
+TEST(rank, clusters_of_figure_3a)
+{
+    const pn::petri_net net = nets::figure_3a();
+    const auto clusters = pn::clusters_of(net);
+    // {p1,t2,t3}, {p2,t4}, {p3,t5}, {t1 alone} = 4 clusters.
+    EXPECT_EQ(clusters.size(), 4u);
+    std::size_t places = 0;
+    std::size_t transitions = 0;
+    for (const pn::cluster& c : clusters) {
+        places += c.places.size();
+        transitions += c.transitions.size();
+    }
+    EXPECT_EQ(places, net.place_count());
+    EXPECT_EQ(transitions, net.transition_count());
+}
+
+TEST(rank, well_formed_live_ring)
+{
+    // Strongly connected free-choice ring with a choice and re-convergence:
+    // live and bounded when marked, so all three conditions hold.
+    pn::net_builder b("wf");
+    const auto p1 = b.add_place("p1", 1);
+    const auto p2 = b.add_place("p2");
+    const auto split = b.add_transition("split");
+    const auto left = b.add_transition("left");
+    const auto right = b.add_transition("right");
+    b.add_arc(p1, split);
+    b.add_arc(split, p2);
+    b.add_arc(p2, left);
+    b.add_arc(p2, right);
+    b.add_arc(left, p1);
+    b.add_arc(right, p1);
+    const pn::petri_net net = std::move(b).build();
+
+    const pn::rank_check check = pn::check_rank_theorem(net);
+    EXPECT_TRUE(check.has_positive_t_invariant);
+    EXPECT_TRUE(check.has_positive_p_invariant);
+    EXPECT_EQ(check.cluster_count, 2u); // {p1,split} and {p2,left,right}
+    EXPECT_EQ(check.rank, check.cluster_count - 1);
+    EXPECT_TRUE(check.well_formed());
+    // Behavioural cross-check: the marked net is indeed live and safe.
+    EXPECT_EQ(pn::check_live(net), pn::verdict::yes);
+    EXPECT_EQ(pn::check_safe(net), pn::verdict::yes);
+}
+
+TEST(rank, join_after_choice_not_well_formed)
+{
+    // Close Fig. 3b into an autonomous net: choice branches joined by t4,
+    // cycled back.  The structural defect (choice feeding a join) violates
+    // the rank condition.
+    pn::net_builder b("bad_wf");
+    const auto p0 = b.add_place("p0", 1);
+    const auto t1 = b.add_transition("t1");
+    const auto p1 = b.add_place("p1");
+    const auto t2 = b.add_transition("t2");
+    const auto t3 = b.add_transition("t3");
+    const auto p2 = b.add_place("p2");
+    const auto p3 = b.add_place("p3");
+    const auto t4 = b.add_transition("t4");
+    b.add_arc(p0, t1);
+    b.add_arc(t1, p1);
+    b.add_arc(p1, t2);
+    b.add_arc(p1, t3);
+    b.add_arc(t2, p2);
+    b.add_arc(t3, p3);
+    b.add_arc(p2, t4);
+    b.add_arc(p3, t4);
+    b.add_arc(t4, p0);
+    const pn::petri_net net = std::move(b).build();
+
+    const pn::rank_check check = pn::check_rank_theorem(net);
+    EXPECT_FALSE(check.well_formed());
+    // And indeed no liveness: one branch starves the join.
+    EXPECT_EQ(pn::check_live(net), pn::verdict::no);
+}
+
+TEST(rank, requires_free_choice)
+{
+    EXPECT_THROW((void)pn::check_rank_theorem(nets::figure_1b()), domain_error);
+}
+
+} // namespace
+} // namespace fcqss

@@ -1,0 +1,302 @@
+// Unit tests for the Petri-net core: builder validation, markings, the
+// firing rule, structural queries and net-class detection.
+#include <gtest/gtest.h>
+
+#include "base/error.hpp"
+#include "nets/paper_nets.hpp"
+#include "pn/builder.hpp"
+#include "pn/firing.hpp"
+#include "pn/incidence.hpp"
+#include "pn/marking.hpp"
+#include "pn/net_class.hpp"
+#include "pn/structure.hpp"
+
+namespace fcqss::pn {
+namespace {
+
+petri_net simple_chain()
+{
+    net_builder b("chain");
+    const auto t1 = b.add_transition("t1");
+    const auto t2 = b.add_transition("t2");
+    const auto p1 = b.add_place("p1", 1);
+    b.add_arc(t1, p1);
+    b.add_arc(p1, t2, 2);
+    return std::move(b).build();
+}
+
+TEST(builder, rejects_bad_input)
+{
+    net_builder b("bad");
+    EXPECT_THROW((void)b.add_place(""), model_error);
+    const auto p = b.add_place("p");
+    EXPECT_THROW((void)b.add_place("p"), model_error);
+    EXPECT_THROW((void)b.add_place("q", -1), model_error);
+    const auto t = b.add_transition("t");
+    EXPECT_THROW((void)b.add_transition("t"), model_error);
+    EXPECT_THROW(b.add_arc(p, t, 0), model_error);
+    EXPECT_THROW(b.add_arc(p, t, -2), model_error);
+    b.add_arc(p, t);
+    EXPECT_THROW(b.add_arc(p, t), model_error); // duplicate arc
+    EXPECT_THROW(b.add_arc(place_id{7}, t), model_error);
+    EXPECT_THROW(b.set_initial_tokens(p, -3), model_error);
+    EXPECT_THROW((void)net_builder("empty").build(), model_error);
+}
+
+TEST(builder, set_initial_tokens)
+{
+    net_builder b("marking");
+    const auto p = b.add_place("p");
+    (void)b.add_transition("t");
+    b.set_initial_tokens(p, 5);
+    const petri_net net = std::move(b).build();
+    EXPECT_EQ(net.initial_tokens(p), 5);
+}
+
+TEST(petri_net, lookups_and_weights)
+{
+    const petri_net net = simple_chain();
+    EXPECT_EQ(net.place_count(), 1u);
+    EXPECT_EQ(net.transition_count(), 2u);
+    EXPECT_EQ(net.arc_count(), 2u);
+    EXPECT_EQ(net.name(), "chain");
+
+    const transition_id t1 = net.find_transition("t1");
+    const transition_id t2 = net.find_transition("t2");
+    const place_id p1 = net.find_place("p1");
+    ASSERT_TRUE(t1.valid());
+    ASSERT_TRUE(p1.valid());
+    EXPECT_FALSE(net.find_place("zzz").valid());
+    EXPECT_FALSE(net.find_transition("zzz").valid());
+
+    EXPECT_EQ(net.arc_weight(t1, p1), 1);
+    EXPECT_EQ(net.arc_weight(p1, t2), 2);
+    EXPECT_EQ(net.arc_weight(p1, t1), 0);
+    EXPECT_EQ(net.inputs(t2).size(), 1u);
+    EXPECT_EQ(net.outputs(t1).size(), 1u);
+    EXPECT_EQ(net.producers(p1).front().transition, t1);
+    EXPECT_EQ(net.consumers(p1).front().weight, 2);
+    EXPECT_THROW((void)net.place_name(place_id{9}), model_error);
+}
+
+TEST(marking, token_accounting)
+{
+    marking m(3);
+    EXPECT_EQ(m.total(), 0);
+    m.set_tokens(place_id{0}, 2);
+    m.add_tokens(place_id{1}, 3);
+    EXPECT_EQ(m.total(), 5);
+    EXPECT_THROW(m.add_tokens(place_id{2}, -1), model_error);
+    EXPECT_THROW(m.set_tokens(place_id{2}, -1), model_error);
+    EXPECT_THROW((void)marking(std::vector<std::int64_t>{-1}), model_error);
+
+    marking other(3);
+    other.set_tokens(place_id{0}, 1);
+    EXPECT_TRUE(m.covers(other));
+    EXPECT_FALSE(other.covers(m));
+    EXPECT_EQ(m.to_string(), "(2, 3, 0)");
+}
+
+TEST(marking, hash_and_equality)
+{
+    marking a(2);
+    marking b(2);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(marking_hash{}(a), marking_hash{}(b));
+    b.add_tokens(place_id{1}, 1);
+    EXPECT_NE(a, b);
+}
+
+TEST(firing, enable_and_fire)
+{
+    const petri_net net = simple_chain();
+    const transition_id t1 = net.find_transition("t1");
+    const transition_id t2 = net.find_transition("t2");
+    marking m = initial_marking(net);
+
+    EXPECT_TRUE(is_enabled(net, m, t1)); // source: always enabled
+    EXPECT_FALSE(is_enabled(net, m, t2)); // needs 2 tokens, has 1
+    EXPECT_THROW(fire(net, m, t2), domain_error);
+
+    fire(net, m, t1);
+    EXPECT_EQ(m.tokens(net.find_place("p1")), 2);
+    EXPECT_TRUE(try_fire(net, m, t2));
+    EXPECT_EQ(m.tokens(net.find_place("p1")), 0);
+    EXPECT_FALSE(try_fire(net, m, t2));
+}
+
+TEST(firing, sequences_and_counts)
+{
+    const petri_net net = simple_chain();
+    const transition_id t1 = net.find_transition("t1");
+    const transition_id t2 = net.find_transition("t2");
+
+    const firing_sequence good{t1, t2};
+    const auto reached = fire_sequence(net, initial_marking(net), good);
+    ASSERT_TRUE(reached.has_value());
+    EXPECT_EQ(reached->tokens(net.find_place("p1")), 0);
+
+    const firing_sequence bad{t2, t2};
+    EXPECT_EQ(fire_sequence(net, initial_marking(net), bad), std::nullopt);
+
+    EXPECT_EQ(firing_count_vector(net, good), (std::vector<std::int64_t>{1, 1}));
+    EXPECT_EQ(to_string(net, good), "t1 t2");
+
+    // t1 t2 consumes the initial token: not a complete cycle.  t1 t1 t2
+    // returns exactly to one token.
+    EXPECT_FALSE(is_finite_complete_cycle(net, good));
+    EXPECT_TRUE(is_finite_complete_cycle(net, {t1, t1, t2}));
+}
+
+TEST(firing, enabled_list_and_deadlock)
+{
+    net_builder b("dead");
+    const auto p = b.add_place("p");
+    const auto t = b.add_transition("t");
+    b.add_arc(p, t);
+    const petri_net net = std::move(b).build();
+    const marking m = initial_marking(net);
+    EXPECT_TRUE(enabled_transitions(net, m).empty());
+    EXPECT_TRUE(is_deadlocked(net, m));
+}
+
+TEST(structure, sources_sinks_choices_merges)
+{
+    const petri_net net = nets::figure_5();
+    const auto sources = source_transitions(net);
+    ASSERT_EQ(sources.size(), 2u);
+    EXPECT_EQ(net.transition_name(sources[0]), "t1");
+    EXPECT_EQ(net.transition_name(sources[1]), "t8");
+
+    const auto sinks = sink_transitions(net);
+    ASSERT_EQ(sinks.size(), 2u);
+    EXPECT_EQ(net.transition_name(sinks[0]), "t6");
+    EXPECT_EQ(net.transition_name(sinks[1]), "t7");
+
+    const auto choices = choice_places(net);
+    ASSERT_EQ(choices.size(), 1u);
+    EXPECT_EQ(net.place_name(choices[0]), "p1");
+
+    const auto merges = merge_places(net);
+    ASSERT_EQ(merges.size(), 1u);
+    EXPECT_EQ(net.place_name(merges[0]), "p4"); // fed by t4 and t9
+
+    EXPECT_TRUE(source_places(net).empty());
+    EXPECT_TRUE(sink_places(net).empty());
+}
+
+TEST(structure, equal_conflict_relation)
+{
+    const petri_net net = nets::figure_3a();
+    const transition_id t2 = net.find_transition("t2");
+    const transition_id t3 = net.find_transition("t3");
+    const transition_id t4 = net.find_transition("t4");
+    EXPECT_TRUE(in_equal_conflict(net, t2, t3));
+    EXPECT_FALSE(in_equal_conflict(net, t2, t4));
+    // Source transitions (empty preset) are never in equal conflict.
+    EXPECT_FALSE(in_equal_conflict(net, net.find_transition("t1"), t2));
+    EXPECT_TRUE(is_conflict_transition(net, t2));
+    EXPECT_FALSE(is_conflict_transition(net, t4));
+}
+
+TEST(structure, equal_conflict_requires_equal_weights)
+{
+    net_builder b("uneq");
+    const auto p = b.add_place("p");
+    const auto a = b.add_transition("a");
+    const auto c = b.add_transition("c");
+    b.add_arc(p, a, 1);
+    b.add_arc(p, c, 2);
+    const petri_net net = std::move(b).build();
+    EXPECT_FALSE(in_equal_conflict(net, a, c));
+}
+
+TEST(structure, digraph_view_and_connectivity)
+{
+    const petri_net net = nets::figure_2();
+    const graph::digraph g = to_digraph(net);
+    EXPECT_EQ(g.size(), net.place_count() + net.transition_count());
+    EXPECT_EQ(g.edge_count(), net.arc_count());
+    EXPECT_TRUE(is_weakly_connected(net));
+    EXPECT_FALSE(is_strongly_connected(net)); // has source and sink transitions
+}
+
+TEST(structure, statistics)
+{
+    const net_statistics stats = statistics(nets::figure_5());
+    EXPECT_EQ(stats.places, 7u);
+    EXPECT_EQ(stats.transitions, 9u);
+    EXPECT_EQ(stats.choices, 1u);
+    EXPECT_EQ(stats.merges, 1u);
+    EXPECT_EQ(stats.source_transitions, 2u);
+    EXPECT_EQ(stats.sink_transitions, 2u);
+}
+
+TEST(net_class, classification_ladder)
+{
+    EXPECT_EQ(classify(nets::figure_2()), net_class::marked_graph);
+    EXPECT_EQ(classify(nets::figure_3a()), net_class::free_choice);
+    EXPECT_EQ(classify(nets::figure_1b()), net_class::general);
+
+    // A conflict-free net that is not a marked graph: two producers.
+    net_builder b("cf");
+    const auto p = b.add_place("p");
+    const auto a = b.add_transition("a");
+    const auto c = b.add_transition("c");
+    const auto d = b.add_transition("d");
+    b.add_arc(a, p);
+    b.add_arc(c, p);
+    b.add_arc(p, d);
+    EXPECT_EQ(classify(b.build_copy()), net_class::conflict_free);
+
+    EXPECT_EQ(to_string(net_class::marked_graph), "marked graph");
+    EXPECT_EQ(to_string(net_class::free_choice), "free-choice net");
+}
+
+TEST(net_class, equal_conflict_free_choice)
+{
+    EXPECT_TRUE(is_equal_conflict_free_choice(nets::figure_3a()));
+
+    net_builder b("uneven");
+    const auto p = b.add_place("p");
+    const auto a = b.add_transition("a");
+    const auto c = b.add_transition("c");
+    b.add_arc(p, a, 1);
+    b.add_arc(p, c, 2); // free choice by arcs, but weights differ
+    const petri_net net = std::move(b).build();
+    EXPECT_TRUE(is_free_choice(net));
+    EXPECT_FALSE(is_equal_conflict_free_choice(net));
+}
+
+TEST(incidence, matrices_of_figure_2)
+{
+    const petri_net net = nets::figure_2();
+    const auto pre = pre_matrix(net);
+    const auto post = post_matrix(net);
+    const auto c = incidence_matrix(net);
+    // Places x transitions; p1 row: +1 from t1, -2 to t2.
+    EXPECT_EQ(pre.at(0, 1), 2);
+    EXPECT_EQ(post.at(0, 0), 1);
+    EXPECT_EQ(c.at(0, 0), 1);
+    EXPECT_EQ(c.at(0, 1), -2);
+    EXPECT_EQ(c.at(1, 1), 1);
+    EXPECT_EQ(c.at(1, 2), -2);
+}
+
+TEST(incidence, state_equation_matches_firing)
+{
+    // m' = m + C f(sigma) for any legal sequence.
+    const petri_net net = nets::figure_2();
+    const auto c = incidence_matrix(net);
+    const firing_sequence sigma{net.find_transition("t1"), net.find_transition("t1"),
+                                net.find_transition("t2")};
+    const auto reached = fire_sequence(net, initial_marking(net), sigma);
+    ASSERT_TRUE(reached.has_value());
+    const auto delta = c.multiply(firing_count_vector(net, sigma));
+    for (place_id p : net.places()) {
+        EXPECT_EQ(reached->tokens(p), net.initial_tokens(p) + delta[p.index()]);
+    }
+}
+
+} // namespace
+} // namespace fcqss::pn

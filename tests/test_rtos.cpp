@@ -1,0 +1,143 @@
+// Unit tests for the RTOS simulator and its cost model.
+#include <gtest/gtest.h>
+
+#include "base/error.hpp"
+#include "rtos/rtos_sim.hpp"
+
+namespace fcqss::rtos {
+namespace {
+
+cgen::run_stats stats_with(std::int64_t actions)
+{
+    cgen::run_stats s;
+    s.actions = actions;
+    return s;
+}
+
+TEST(cost_model, fragment_cost)
+{
+    cost_model costs;
+    cgen::run_stats s;
+    s.actions = 2;
+    s.counter_updates = 3;
+    s.guard_evaluations = 4;
+    s.choice_queries = 1;
+    EXPECT_EQ(costs.fragment_cost(s), 2 * costs.action + 3 * costs.counter_update +
+                                          4 * costs.guard_evaluation +
+                                          1 * costs.choice_query);
+}
+
+TEST(simulator, validates_registration)
+{
+    rtos_simulator sim;
+    sim.register_task("a", [](task_context&, const message&) { return stats_with(0); });
+    EXPECT_THROW(
+        sim.register_task("a", [](task_context&, const message&) { return stats_with(0); }),
+        model_error);
+    EXPECT_THROW(sim.register_task("b", nullptr), model_error);
+    EXPECT_THROW(sim.post_external(0, "zzz", {}), model_error);
+}
+
+TEST(simulator, external_event_accounting)
+{
+    cost_model costs;
+    rtos_simulator sim(costs);
+    sim.register_task("a", [](task_context&, const message&) { return stats_with(3); });
+    sim.post_external(10, "a", {"x", 0});
+    sim.post_external(20, "a", {"x", 0});
+    const sim_report report = sim.run();
+    EXPECT_EQ(report.events_processed, 2);
+    EXPECT_EQ(report.end_time, 20);
+    const std::int64_t per_event =
+        costs.task_activation + costs.interrupt_overhead + 3 * costs.action;
+    EXPECT_EQ(report.total_cycles, 2 * per_event);
+    EXPECT_EQ(report.tasks.at("a").activations, 2);
+    EXPECT_EQ(report.tasks.at("a").cycles, 2 * per_event);
+}
+
+TEST(simulator, messages_chain_tasks_fifo)
+{
+    cost_model costs;
+    rtos_simulator sim(costs);
+    std::vector<std::string> order;
+    sim.register_task("producer", [&](task_context& ctx, const message&) {
+        order.push_back("producer");
+        ctx.send("consumer", {"data", 1});
+        ctx.send("consumer", {"data", 2});
+        return stats_with(1);
+    });
+    sim.register_task("consumer", [&](task_context&, const message& m) {
+        order.push_back("consumer:" + std::to_string(m.value));
+        return stats_with(1);
+    });
+    sim.post_external(5, "producer", {});
+    const sim_report report = sim.run();
+    EXPECT_EQ(order, (std::vector<std::string>{"producer", "consumer:1", "consumer:2"}));
+    EXPECT_EQ(report.tasks.at("producer").messages_sent, 2);
+    EXPECT_EQ(report.tasks.at("consumer").activations, 2);
+    // Sender pays 2 pushes; each consumer activation pays a pop.
+    const std::int64_t expected =
+        (costs.task_activation + costs.interrupt_overhead + costs.action +
+         2 * costs.queue_push) +
+        2 * (costs.task_activation + costs.queue_pop + costs.action);
+    EXPECT_EQ(report.total_cycles, expected);
+}
+
+TEST(simulator, time_ordering_and_ties)
+{
+    rtos_simulator sim;
+    std::vector<int> order;
+    sim.register_task("a", [&](task_context&, const message& m) {
+        order.push_back(static_cast<int>(m.value));
+        return stats_with(0);
+    });
+    sim.post_external(30, "a", {"", 3});
+    sim.post_external(10, "a", {"", 1});
+    sim.post_external(10, "a", {"", 2}); // tie: posting order wins
+    (void)sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(simulator, send_to_unknown_task_throws)
+{
+    rtos_simulator sim;
+    sim.register_task("a", [](task_context& ctx, const message&) {
+        ctx.send("ghost", {});
+        return stats_with(0);
+    });
+    sim.post_external(0, "a", {});
+    EXPECT_THROW((void)sim.run(), model_error);
+}
+
+TEST(simulator, more_tasks_cost_more_for_same_work)
+{
+    // The Table I mechanism in miniature: the same three actions cost more
+    // when split across chained tasks than when fused into one.
+    cost_model costs;
+
+    rtos_simulator fused(costs);
+    fused.register_task("all", [](task_context&, const message&) { return stats_with(3); });
+    fused.post_external(0, "all", {});
+    const std::int64_t fused_cycles = fused.run().total_cycles;
+
+    rtos_simulator split(costs);
+    split.register_task("stage1", [](task_context& ctx, const message&) {
+        ctx.send("stage2", {});
+        return stats_with(1);
+    });
+    split.register_task("stage2", [](task_context& ctx, const message&) {
+        ctx.send("stage3", {});
+        return stats_with(1);
+    });
+    split.register_task("stage3",
+                        [](task_context&, const message&) { return stats_with(1); });
+    split.post_external(0, "stage1", {});
+    const std::int64_t split_cycles = split.run().total_cycles;
+
+    EXPECT_GT(split_cycles, fused_cycles);
+    EXPECT_EQ(split_cycles - fused_cycles,
+              2 * (costs.task_activation + costs.queue_push + costs.queue_pop));
+}
+
+} // namespace
+} // namespace fcqss::rtos

@@ -1,0 +1,165 @@
+#include "test_util.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "base/error.hpp"
+
+namespace fcqss::testutil {
+
+namespace {
+
+// Grows a balanced processing chain below `from`; every path terminates in a
+// sink transition, so the net stays schedulable by construction.
+class growth {
+public:
+    growth(pn::net_builder& builder, prng& rng, const random_net_options& options)
+        : builder_(builder), rng_(rng), options_(options)
+    {
+    }
+
+    void grow(pn::transition_id from, int depth_left)
+    {
+        if (depth_left <= 0) {
+            return; // `from` stays a sink
+        }
+        const std::uint64_t roll = rng_.below(100);
+        if (roll < static_cast<std::uint64_t>(options_.choice_percent)) {
+            grow_choice(from, depth_left);
+        } else if (options_.allow_joins && roll < static_cast<std::uint64_t>(
+                                                      options_.choice_percent + 20)) {
+            grow_fork_join(from, depth_left);
+        } else {
+            grow_plain(from, depth_left);
+        }
+    }
+
+private:
+    std::string fresh(const char* prefix)
+    {
+        return std::string(prefix) + std::to_string(serial_++);
+    }
+
+    std::int64_t weight() { return rng_.range(1, options_.max_weight); }
+
+    void grow_plain(pn::transition_id from, int depth_left)
+    {
+        const auto p = builder_.add_place(fresh("p"));
+        const auto u = builder_.add_transition(fresh("t"));
+        // Any (produce, consume) pair stays balanced: the T-invariant scales.
+        builder_.add_arc(from, p, weight());
+        builder_.add_arc(p, u, weight());
+        grow(u, depth_left - 1);
+    }
+
+    void grow_choice(pn::transition_id from, int depth_left)
+    {
+        const auto p = builder_.add_place(fresh("c"));
+        const std::int64_t w = weight();
+        builder_.add_arc(from, p, w);
+        const int alternatives = static_cast<int>(rng_.range(2, 3));
+        for (int i = 0; i < alternatives; ++i) {
+            const auto alt = builder_.add_transition(fresh("t"));
+            builder_.add_arc(p, alt, w); // equal conflict: same weight
+            grow(alt, depth_left - 1);
+        }
+    }
+
+    void grow_fork_join(pn::transition_id from, int depth_left)
+    {
+        const auto pa = builder_.add_place(fresh("p"));
+        const auto pb = builder_.add_place(fresh("p"));
+        const auto u = builder_.add_transition(fresh("t"));
+        const std::int64_t wa = weight();
+        const std::int64_t wb = weight();
+        // Matched weights on both legs keep the join balanced one-to-one.
+        builder_.add_arc(from, pa, wa);
+        builder_.add_arc(from, pb, wb);
+        builder_.add_arc(pa, u, wa);
+        builder_.add_arc(pb, u, wb);
+        grow(u, depth_left - 1);
+    }
+
+    pn::net_builder& builder_;
+    prng& rng_;
+    random_net_options options_;
+    int serial_ = 0;
+};
+
+} // namespace
+
+pn::petri_net random_free_choice_net(std::uint64_t seed, const random_net_options& options)
+{
+    pn::net_builder builder("random_" + std::to_string(seed));
+    prng rng(seed);
+    growth g(builder, rng, options);
+    for (int s = 0; s < options.sources; ++s) {
+        const auto source = builder.add_transition("src" + std::to_string(s));
+        g.grow(source, options.depth);
+    }
+    return std::move(builder).build();
+}
+
+void eager_react(const pn::petri_net& net, pn::marking& m, pn::transition_id source,
+                 const std::function<int(pn::place_id)>& choose,
+                 const std::function<void(pn::transition_id)>& on_fire, int max_steps)
+{
+    pn::fire(net, m, source);
+    if (on_fire) {
+        on_fire(source);
+    }
+
+    int steps = 0;
+    bool progressed = true;
+    while (progressed) {
+        progressed = false;
+        for (pn::place_id p : net.places()) {
+            const auto& consumers = net.consumers(p);
+            if (consumers.empty()) {
+                continue;
+            }
+            if (consumers.size() > 1) {
+                // Choice: while tokens suffice, let the oracle resolve.
+                while (m.tokens(p) >= consumers.front().weight) {
+                    const int branch = choose(p);
+                    if (branch < 0 || static_cast<std::size_t>(branch) >= consumers.size()) {
+                        throw error("eager_react: oracle returned bad branch");
+                    }
+                    // Alternatives ascending by transition id to match the
+                    // cluster order used by codegen.
+                    std::vector<pn::transition_weight> sorted = consumers;
+                    std::sort(sorted.begin(), sorted.end(),
+                              [](const pn::transition_weight& a,
+                                 const pn::transition_weight& b) {
+                                  return a.transition < b.transition;
+                              });
+                    pn::fire(net, m, sorted[static_cast<std::size_t>(branch)].transition);
+                    if (on_fire) {
+                        on_fire(sorted[static_cast<std::size_t>(branch)].transition);
+                    }
+                    progressed = true;
+                    if (++steps > max_steps) {
+                        throw error("eager_react: step limit exceeded");
+                    }
+                }
+                continue;
+            }
+            const pn::transition_id u = consumers.front().transition;
+            if (net.inputs(u).empty()) {
+                continue; // never auto-fire sources
+            }
+            while (pn::is_enabled(net, m, u)) {
+                pn::fire(net, m, u);
+                if (on_fire) {
+                    on_fire(u);
+                }
+                progressed = true;
+                if (++steps > max_steps) {
+                    throw error("eager_react: step limit exceeded");
+                }
+            }
+        }
+    }
+}
+
+} // namespace fcqss::testutil

@@ -1,0 +1,72 @@
+// Shared test utilities: a seeded random free-choice net generator (for
+// property-style sweeps) and an eager reference simulator that mirrors the
+// generated code's operational semantics on the net itself.
+#ifndef FCQSS_TESTS_TEST_UTIL_HPP
+#define FCQSS_TESTS_TEST_UTIL_HPP
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "codegen/interpreter.hpp"
+#include "pn/builder.hpp"
+#include "pn/firing.hpp"
+#include "pn/petri_net.hpp"
+
+namespace fcqss::testutil {
+
+/// Small deterministic PRNG (xorshift*), independent of <random>.
+class prng {
+public:
+    explicit prng(std::uint64_t seed) : state_(seed ? seed : 0x9e3779b97f4a7c15ULL) {}
+
+    std::uint64_t next()
+    {
+        state_ ^= state_ >> 12;
+        state_ ^= state_ << 25;
+        state_ ^= state_ >> 27;
+        return state_ * 0x2545f4914f6cdd1dULL;
+    }
+
+    /// Uniform in [0, bound).
+    std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+
+    /// Uniform in [lo, hi] inclusive.
+    std::int64_t range(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+private:
+    std::uint64_t state_;
+};
+
+struct random_net_options {
+    int sources = 2;          // independent inputs
+    int depth = 4;            // layers of processing
+    int width = 3;            // transitions per layer
+    int choice_percent = 35;  // probability a place becomes a choice
+    int max_weight = 2;       // arc weights in [1, max_weight]
+    bool allow_joins = true;
+};
+
+/// Generates a schedulable-by-construction free-choice net: layered forward
+/// chains from source transitions, choices branch to per-alternative chains
+/// that all terminate in sink transitions, weights paired so every path is
+/// balanced (producer weight w feeds a consumer of weight w or 1xw / wx1
+/// pairs that the QSS cycle covers).
+[[nodiscard]] pn::petri_net random_free_choice_net(std::uint64_t seed,
+                                                   const random_net_options& options = {});
+
+/// Eager reference semantics: fire `source`, then repeatedly fire any
+/// enabled non-source transition (choices resolved by the oracle, keyed by
+/// the choice place), until quiescent.  Mirrors the generated code's
+/// reaction semantics; every fired transition is reported in order.
+void eager_react(const pn::petri_net& net, pn::marking& m, pn::transition_id source,
+                 const std::function<int(pn::place_id)>& choose,
+                 const std::function<void(pn::transition_id)>& on_fire,
+                 int max_steps = 100000);
+
+} // namespace fcqss::testutil
+
+#endif // FCQSS_TESTS_TEST_UTIL_HPP

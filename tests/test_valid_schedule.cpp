@@ -1,0 +1,132 @@
+// Unit tests for the Definition 3.1 validity checker: each violation class
+// is constructed explicitly and must be reported with useful context.
+#include <gtest/gtest.h>
+
+#include "nets/paper_nets.hpp"
+#include "qss/scheduler.hpp"
+#include "qss/valid_schedule.hpp"
+
+namespace fcqss::qss {
+namespace {
+
+using pn::firing_sequence;
+using pn::petri_net;
+
+firing_sequence seq(const petri_net& net, const std::vector<std::string>& names)
+{
+    firing_sequence s;
+    for (const std::string& name : names) {
+        s.push_back(net.find_transition(name));
+    }
+    return s;
+}
+
+TEST(validity, accepts_paper_schedules)
+{
+    const petri_net net = nets::figure_3a();
+    const std::vector<firing_sequence> schedule{seq(net, {"t1", "t2", "t4"}),
+                                                seq(net, {"t1", "t3", "t5"})};
+    EXPECT_EQ(check_valid_schedule(net, schedule), std::nullopt);
+}
+
+TEST(validity, rejects_non_cycle)
+{
+    const petri_net net = nets::figure_3a();
+    // t1 t2 leaves a token in p2.
+    const std::vector<firing_sequence> schedule{seq(net, {"t1", "t2"}),
+                                                seq(net, {"t1", "t3", "t5"})};
+    const auto violation = check_valid_schedule(net, schedule);
+    ASSERT_TRUE(violation.has_value());
+    EXPECT_EQ(violation->reason, validity_violation::kind::not_a_finite_complete_cycle);
+    EXPECT_EQ(violation->sequence_index, 0u);
+    EXPECT_NE(violation->describe(net).find("finite complete cycle"), std::string::npos);
+}
+
+TEST(validity, rejects_unfireable_sequence)
+{
+    const petri_net net = nets::figure_3a();
+    // t2 before t1: not enabled.
+    const std::vector<firing_sequence> schedule{seq(net, {"t2", "t1", "t4"}),
+                                                seq(net, {"t1", "t3", "t5"})};
+    const auto violation = check_valid_schedule(net, schedule);
+    ASSERT_TRUE(violation.has_value());
+    EXPECT_EQ(violation->reason, validity_violation::kind::not_a_finite_complete_cycle);
+}
+
+TEST(validity, rejects_missing_source)
+{
+    const petri_net net = nets::figure_5();
+    // A cycle over the t8/t9 component only: fires t8 t9 t6 but never t1.
+    const std::vector<firing_sequence> schedule{seq(net, {"t8", "t9", "t6"})};
+    const auto violation = check_valid_schedule(net, schedule);
+    ASSERT_TRUE(violation.has_value());
+    EXPECT_EQ(violation->reason, validity_violation::kind::missing_source_transition);
+    EXPECT_EQ(net.transition_name(violation->transition), "t1");
+    EXPECT_NE(violation->describe(net).find("t1"), std::string::npos);
+}
+
+TEST(validity, rejects_missing_alternative_continuation)
+{
+    const petri_net net = nets::figure_3a();
+    // Only the t2 resolution is covered: the adversary's t3 pick has no
+    // matching sequence.
+    const std::vector<firing_sequence> schedule{seq(net, {"t1", "t2", "t4"})};
+    const auto violation = check_valid_schedule(net, schedule);
+    ASSERT_TRUE(violation.has_value());
+    EXPECT_EQ(violation->reason, validity_violation::kind::missing_alternative);
+    EXPECT_EQ(violation->sequence_index, 0u);
+    EXPECT_EQ(violation->position, 1u);
+    EXPECT_EQ(net.transition_name(violation->transition), "t3");
+}
+
+TEST(validity, prefix_must_match_not_just_position)
+{
+    const petri_net net = nets::figure_3a();
+    // The third sequence is a perfectly fine finite complete cycle, but its
+    // first occurrence of t3 sits at position 4 with prefix (t1 t2 t4 t1) —
+    // and no sequence in S continues that prefix with t2.
+    const std::vector<firing_sequence> schedule{
+        seq(net, {"t1", "t2", "t4"}), seq(net, {"t1", "t3", "t5"}),
+        seq(net, {"t1", "t2", "t4", "t1", "t3", "t5"})};
+    const auto violation = check_valid_schedule(net, schedule);
+    ASSERT_TRUE(violation.has_value());
+    EXPECT_EQ(violation->reason, validity_violation::kind::missing_alternative);
+    EXPECT_EQ(violation->sequence_index, 2u);
+    EXPECT_EQ(violation->position, 4u);
+    EXPECT_EQ(net.transition_name(violation->transition), "t2");
+}
+
+TEST(validity, only_first_occurrence_constrained)
+{
+    // Fig. 4's published schedule: t2 occurs again at position 3 of sigma_1
+    // without a matching t3-continuation — allowed, because only the first
+    // occurrence of a conflict transition is constrained (Def. 3.1).
+    const petri_net net = nets::figure_4();
+    const std::vector<firing_sequence> schedule{seq(net, {"t1", "t2", "t1", "t2", "t4"}),
+                                                seq(net, {"t1", "t3", "t5", "t5"})};
+    EXPECT_EQ(check_valid_schedule(net, schedule), std::nullopt);
+}
+
+TEST(validity, empty_schedule_vacuously_valid_without_sources)
+{
+    // For a net with sources, an empty S has no sequence containing them —
+    // but Def. 3.1 quantifies over sequences, so an empty set is vacuously
+    // valid; the scheduler never emits one for nets with sources.
+    const petri_net net = nets::figure_3a();
+    EXPECT_EQ(check_valid_schedule(net, {}), std::nullopt);
+}
+
+TEST(validity, scheduler_output_always_passes)
+{
+    for (const petri_net& net :
+         {nets::figure_2(), nets::figure_3a(), nets::figure_4(), nets::figure_5()}) {
+        const qss_result result = quasi_static_schedule(net);
+        ASSERT_TRUE(result.schedulable) << net.name();
+        const auto violation = check_valid_schedule(net, result.cycles());
+        EXPECT_EQ(violation, std::nullopt)
+            << net.name() << ": " << violation->describe(net);
+    }
+}
+
+} // namespace
+} // namespace fcqss::qss
