@@ -5,20 +5,34 @@
 //   pn_tool report   model.pn      full synthesis report
 //   pn_tool codegen  model.pn      emit the synthesized C to stdout
 //   pn_tool dot      model.pn      emit graphviz
+//   pn_tool batch    [--jobs N] [--max-allocations A] [--no-codegen]
+//                    [--verbose] model.pn...
+//                                  run the full flow over many nets in
+//                                  parallel and print a batch report
+//   pn_tool generate [--seed S] [--count N] [--family fc|mg|choice]
+//                    [--sources K] [--depth D] [--tokens L] [--defects P]
+//                    --out DIR     write random workload nets as .pn files
 //
-// Example model files can be produced with pnio::save_net or written by
-// hand; see the grammar in src/pnio/lexer.hpp.
+// Example model files can be produced with pnio::save_net, written by hand
+// (see the grammar in src/pnio/lexer.hpp), or generated with `generate`.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
 
 #include "codegen/c_emitter.hpp"
 #include "codegen/task_codegen.hpp"
+#include "pipeline/net_generator.hpp"
+#include "pipeline/synthesis_pipeline.hpp"
 #include "pn/coverability.hpp"
 #include "pn/invariants.hpp"
 #include "pn/net_class.hpp"
 #include "pn/structure.hpp"
 #include "pnio/dot.hpp"
 #include "pnio/parser.hpp"
+#include "pnio/writer.hpp"
 #include "qss/report.hpp"
 #include "qss/scheduler.hpp"
 #include "qss/task_partition.hpp"
@@ -96,14 +110,169 @@ int codegen(const pn::petri_net& net)
     return 0;
 }
 
+int usage()
+{
+    std::fprintf(stderr,
+                 "usage: pn_tool {analyze|schedule|report|codegen|dot} model.pn\n"
+                 "       pn_tool batch [--jobs N] [--max-allocations A] [--no-codegen]\n"
+                 "                     [--verbose] model.pn...\n"
+                 "       pn_tool generate [--seed S] [--count N] [--family fc|mg|choice]\n"
+                 "                        [--sources K] [--depth D] [--tokens L]\n"
+                 "                        [--defects P] --out DIR\n");
+    return 2;
+}
+
+/// Parses "--flag N" style integer options; advances `i` past the value.
+bool int_option(int argc, char** argv, int& i, const char* flag, long& out)
+{
+    if (std::strcmp(argv[i], flag) != 0) {
+        return false;
+    }
+    if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+    }
+    const char* text = argv[++i];
+    char* end = nullptr;
+    out = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0') {
+        std::fprintf(stderr, "%s needs an integer, got '%s'\n", flag, text);
+        std::exit(2);
+    }
+    return true;
+}
+
+int batch(int argc, char** argv)
+{
+    pipeline::pipeline_options options;
+    bool verbose = false;
+    std::vector<std::string> paths;
+    for (int i = 2; i < argc; ++i) {
+        long value = 0;
+        if (int_option(argc, argv, i, "--jobs", value)) {
+            options.jobs = value > 0 ? static_cast<std::size_t>(value) : 0;
+        } else if (int_option(argc, argv, i, "--max-allocations", value)) {
+            options.scheduler.max_allocations =
+                value > 0 ? static_cast<std::size_t>(value) : 1;
+        } else if (std::strcmp(argv[i], "--no-codegen") == 0) {
+            options.generate_code = false;
+        } else if (std::strcmp(argv[i], "--verbose") == 0) {
+            verbose = true;
+        } else if (argv[i][0] == '-') {
+            std::fprintf(stderr, "unknown batch option '%s'\n", argv[i]);
+            return 2;
+        } else {
+            paths.emplace_back(argv[i]);
+        }
+    }
+    if (paths.empty()) {
+        std::fprintf(stderr, "batch: no input files\n");
+        return 2;
+    }
+
+    const pipeline::synthesis_pipeline pipe(options);
+    const pipeline::batch_report report = pipe.run_files(paths);
+
+    bool hard_failure = false;
+    for (const pipeline::pipeline_result& r : report.results) {
+        const bool rejected = r.status != pipeline::pipeline_status::ok;
+        if (verbose || rejected) {
+            std::printf("%-16s %s", pipeline::to_string(r.status), r.name.c_str());
+            if (r.ok()) {
+                std::printf("  (%zu cycles, %zu tasks, %d C lines, %.2f ms)",
+                            r.cycles, r.tasks, r.code_lines,
+                            r.timings.total() / 1000.0);
+            } else if (!r.diagnosis.empty()) {
+                std::printf("\n    %s", r.diagnosis.c_str());
+            }
+            std::printf("\n");
+        }
+        hard_failure = hard_failure ||
+                       r.status == pipeline::pipeline_status::load_failed ||
+                       r.status == pipeline::pipeline_status::parse_failed ||
+                       r.status == pipeline::pipeline_status::invalid_model ||
+                       r.status == pipeline::pipeline_status::failed;
+    }
+    std::printf("%s", report.summary().c_str());
+    return hard_failure ? 1 : 0;
+}
+
+int generate(int argc, char** argv)
+{
+    long seed = 1;
+    long count = 10;
+    std::string out_dir;
+    pipeline::generator_options options;
+    for (int i = 2; i < argc; ++i) {
+        long value = 0;
+        if (int_option(argc, argv, i, "--seed", value)) {
+            seed = value;
+        } else if (int_option(argc, argv, i, "--count", value)) {
+            count = value;
+        } else if (int_option(argc, argv, i, "--sources", value)) {
+            options.sources = static_cast<int>(value);
+        } else if (int_option(argc, argv, i, "--depth", value)) {
+            options.depth = static_cast<int>(value);
+        } else if (int_option(argc, argv, i, "--tokens", value)) {
+            options.token_load = static_cast<int>(value);
+        } else if (int_option(argc, argv, i, "--defects", value)) {
+            options.defect_percent = static_cast<int>(value);
+        } else if (std::strcmp(argv[i], "--family") == 0 && i + 1 < argc) {
+            const std::string family = argv[++i];
+            if (family == "mg") {
+                options.family = pipeline::net_family::marked_graph;
+            } else if (family == "fc") {
+                options.family = pipeline::net_family::free_choice;
+            } else if (family == "choice") {
+                options.family = pipeline::net_family::choice_heavy;
+            } else {
+                std::fprintf(stderr, "unknown family '%s' (fc|mg|choice)\n",
+                             family.c_str());
+                return 2;
+            }
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out_dir = argv[++i];
+        } else {
+            std::fprintf(stderr, "unknown generate option '%s'\n", argv[i]);
+            return 2;
+        }
+    }
+    if (out_dir.empty() || count <= 0) {
+        std::fprintf(stderr, "generate: --out DIR is required and --count must be > 0\n");
+        return 2;
+    }
+    std::filesystem::create_directories(out_dir);
+    pipeline::net_generator generator(static_cast<std::uint64_t>(seed), options);
+    for (long i = 0; i < count; ++i) {
+        const pn::petri_net net = generator.next();
+        pnio::save_net(net, out_dir + "/" + net.name() + ".pn");
+    }
+    std::printf("wrote %ld nets to %s\n", count, out_dir.c_str());
+    return 0;
+}
+
 } // namespace
 
 int main(int argc, char** argv)
 {
+    if (argc >= 2 && std::strcmp(argv[1], "batch") == 0) {
+        try {
+            return batch(argc, argv);
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 1;
+        }
+    }
+    if (argc >= 2 && std::strcmp(argv[1], "generate") == 0) {
+        try {
+            return generate(argc, argv);
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 1;
+        }
+    }
     if (argc != 3) {
-        std::fprintf(stderr,
-                     "usage: pn_tool {analyze|schedule|report|codegen|dot} model.pn\n");
-        return 2;
+        return usage();
     }
     try {
         const pn::petri_net net = pnio::load_net(argv[2]);
@@ -125,7 +294,7 @@ int main(int argc, char** argv)
             return 0;
         }
         std::fprintf(stderr, "unknown command '%s'\n", argv[1]);
-        return 2;
+        return usage();
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;

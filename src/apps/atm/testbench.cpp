@@ -3,33 +3,9 @@
 #include <algorithm>
 
 #include "base/error.hpp"
+#include "base/prng.hpp"
 
 namespace fcqss::atm {
-
-namespace {
-
-// Small deterministic PRNG (xorshift*) so the testbench is reproducible
-// across platforms without <random> distribution differences.
-class prng {
-public:
-    explicit prng(std::uint64_t seed) : state_(seed == 0 ? 0x9e3779b97f4a7c15ULL : seed) {}
-
-    std::uint64_t next()
-    {
-        state_ ^= state_ >> 12;
-        state_ ^= state_ << 25;
-        state_ ^= state_ >> 27;
-        return state_ * 0x2545f4914f6cdd1dULL;
-    }
-
-    /// Uniform in [0, bound).
-    std::uint64_t below(std::uint64_t bound) { return next() % bound; }
-
-private:
-    std::uint64_t state_;
-};
-
-} // namespace
 
 std::vector<input_event> make_testbench(const testbench_options& options)
 {

@@ -17,6 +17,19 @@ parse_error::parse_error(const std::string& what_arg, int line, int column)
 {
 }
 
+parse_error::parse_error(preformatted_tag, const std::string& what_arg, int line,
+                         int column)
+    : error(what_arg), line_(line), column_(column)
+{
+}
+
+parse_error parse_error::with_context(const std::string& context,
+                                      const parse_error& inner)
+{
+    return parse_error(preformatted_tag{}, context + ": " + inner.what(), inner.line(),
+                       inner.column());
+}
+
 void require_internal(bool condition, const char* message)
 {
     if (!condition) {

@@ -34,10 +34,19 @@ class parse_error : public error {
 public:
     parse_error(const std::string& what_arg, int line, int column);
 
+    /// Wraps an existing parse_error with leading context (typically the
+    /// file path), keeping the location fields and NOT re-appending the
+    /// "(line N, column M)" suffix the inner message already carries.
+    [[nodiscard]] static parse_error with_context(const std::string& context,
+                                                  const parse_error& inner);
+
     [[nodiscard]] int line() const noexcept { return line_; }
     [[nodiscard]] int column() const noexcept { return column_; }
 
 private:
+    struct preformatted_tag {};
+    parse_error(preformatted_tag, const std::string& what_arg, int line, int column);
+
     int line_;
     int column_;
 };
@@ -47,6 +56,20 @@ private:
 class domain_error : public error {
 public:
     explicit domain_error(const std::string& what_arg) : error(what_arg) {}
+};
+
+/// The operating system refused a file operation (open/read/write).
+class io_error : public error {
+public:
+    explicit io_error(const std::string& what_arg) : error(what_arg) {}
+};
+
+/// A configured resource bound was exceeded (e.g. the scheduler's allocation
+/// enumeration cap).  Distinct from failure: the input may be fine, the
+/// caller just declined to spend more on it.
+class resource_limit_error : public error {
+public:
+    explicit resource_limit_error(const std::string& what_arg) : error(what_arg) {}
 };
 
 /// Internal invariant violation; indicates a bug in fcqss itself.

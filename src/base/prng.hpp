@@ -1,0 +1,45 @@
+// fcqss — base/prng.hpp
+// The project's deterministic PRNG (xorshift*): identical bit streams on
+// every platform, independent of <random> implementations.  Shared by the
+// workload generator, the executability sampler, the ATM testbench, and the
+// test utilities — one definition, so recorded expectations can never drift
+// between copies.
+#ifndef FCQSS_BASE_PRNG_HPP
+#define FCQSS_BASE_PRNG_HPP
+
+#include <cstdint>
+
+namespace fcqss {
+
+class prng {
+public:
+    explicit prng(std::uint64_t seed) : state_(seed ? seed : 0x9e3779b97f4a7c15ULL) {}
+
+    std::uint64_t next()
+    {
+        state_ ^= state_ >> 12;
+        state_ ^= state_ << 25;
+        state_ ^= state_ >> 27;
+        return state_ * 0x2545f4914f6cdd1dULL;
+    }
+
+    /// Uniform in [0, bound).
+    std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+
+    /// Uniform in [lo, hi] inclusive.
+    std::int64_t range(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+                        below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /// The raw engine state (for callers that persist a stream position).
+    [[nodiscard]] std::uint64_t state() const noexcept { return state_; }
+
+private:
+    std::uint64_t state_;
+};
+
+} // namespace fcqss
+
+#endif // FCQSS_BASE_PRNG_HPP

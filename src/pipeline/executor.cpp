@@ -1,0 +1,89 @@
+#include "pipeline/executor.hpp"
+
+#include <utility>
+
+namespace fcqss::pipeline {
+
+namespace {
+
+std::size_t resolve_jobs(std::size_t jobs)
+{
+    if (jobs != 0) {
+        return jobs;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+} // namespace
+
+executor::executor(std::size_t jobs) : queue_(2 * resolve_jobs(jobs))
+{
+    const std::size_t n = resolve_jobs(jobs);
+    workers_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+executor::~executor()
+{
+    queue_.close();
+}
+
+void executor::worker_loop()
+{
+    while (auto job = queue_.pop()) {
+        (*job)();
+    }
+}
+
+void executor::for_each_index(std::size_t count,
+                              const std::function<void(std::size_t)>& fn)
+{
+    {
+        std::lock_guard lock(done_mutex_);
+        pending_ = count;
+        first_failure_ = nullptr;
+    }
+    if (count == 0) {
+        return;
+    }
+
+    const auto finish_one = [this](std::exception_ptr failure) {
+        std::lock_guard lock(done_mutex_);
+        if (failure && !first_failure_) {
+            first_failure_ = std::move(failure);
+        }
+        if (--pending_ == 0) {
+            done_.notify_all();
+        }
+    };
+
+    for (std::size_t i = 0; i < count; ++i) {
+        const bool queued = queue_.push([i, &fn, &finish_one] {
+            std::exception_ptr failure;
+            try {
+                fn(i);
+            } catch (...) {
+                failure = std::current_exception();
+            }
+            finish_one(failure);
+        });
+        if (!queued) {
+            // Queue closed under us (executor being destroyed): account for
+            // the jobs that will never run so the wait below terminates.
+            finish_one(nullptr);
+        }
+    }
+
+    std::unique_lock lock(done_mutex_);
+    done_.wait(lock, [this] { return pending_ == 0; });
+    if (first_failure_) {
+        std::exception_ptr failure = std::exchange(first_failure_, nullptr);
+        lock.unlock();
+        std::rethrow_exception(failure);
+    }
+}
+
+} // namespace fcqss::pipeline

@@ -1,0 +1,206 @@
+#include "pipeline/net_generator.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "base/error.hpp"
+#include "base/prng.hpp"
+#include "pn/builder.hpp"
+
+namespace fcqss::pipeline {
+
+const char* to_string(net_family family)
+{
+    switch (family) {
+    case net_family::marked_graph:
+        return "mg";
+    case net_family::free_choice:
+        return "fc";
+    case net_family::choice_heavy:
+        return "choice";
+    }
+    return "?";
+}
+
+namespace {
+
+// Grows one net: layered chains below each source, every path ending in a
+// sink transition so the net is consistent (and schedulable) by design.
+class grower {
+public:
+    grower(pn::net_builder& builder, prng& rng, const generator_options& options)
+        : builder_(builder), rng_(rng), options_(options)
+    {
+        switch (options_.family) {
+        case net_family::marked_graph:
+            choice_percent_ = 0;
+            fork_percent_ = 30;
+            break;
+        case net_family::free_choice:
+            choice_percent_ = options_.choice_percent;
+            fork_percent_ = 20;
+            break;
+        case net_family::choice_heavy:
+            choice_percent_ = 70;
+            fork_percent_ = 10;
+            break;
+        }
+    }
+
+    void grow(pn::transition_id from, int depth_left)
+    {
+        if (depth_left <= 0) {
+            return; // `from` stays a sink transition
+        }
+        const auto roll = static_cast<int>(rng_.below(100));
+        if (roll < choice_percent_) {
+            grow_choice(from, depth_left);
+        } else if (roll < choice_percent_ + fork_percent_) {
+            grow_fork_join(from, depth_left);
+        } else {
+            grow_chain(from, depth_left);
+        }
+    }
+
+    /// Splices a free-choice violation into the finished structure: a fresh
+    /// transition consuming from both a choice place and a private place, so
+    /// one consumer of the choice no longer has a singleton preset.
+    void inject_defect()
+    {
+        pn::place_id choice = first_choice_;
+        if (!choice.valid()) {
+            // Families without choices (marked graphs): manufacture one.
+            const auto src = builder_.add_transition(fresh("t_defect_src"));
+            choice = builder_.add_place(fresh("c_defect"));
+            builder_.add_arc(src, choice);
+            const auto alt = builder_.add_transition(fresh("t_defect_alt"));
+            builder_.add_arc(choice, alt);
+        }
+        const auto env = builder_.add_transition(fresh("t_defect_env"));
+        const auto gate = builder_.add_place(fresh("p_defect_gate"));
+        builder_.add_arc(env, gate);
+        const auto join = builder_.add_transition(fresh("t_defect_join"));
+        builder_.add_arc(gate, join);
+        builder_.add_arc(choice, join);
+    }
+
+private:
+    std::string fresh(const char* prefix)
+    {
+        return std::string(prefix) + std::to_string(serial_++);
+    }
+
+    std::int64_t weight() { return rng_.range(1, options_.max_weight); }
+
+    void maybe_load_tokens(pn::place_id p)
+    {
+        if (options_.token_load > 0 && rng_.below(100) < 30) {
+            builder_.set_initial_tokens(p, rng_.range(1, options_.token_load));
+        }
+    }
+
+    void grow_chain(pn::transition_id from, int depth_left)
+    {
+        const auto p = builder_.add_place(fresh("p"));
+        const auto u = builder_.add_transition(fresh("t"));
+        // Any (produce, consume) weight pair stays balanced: the minimal
+        // T-invariant scales both sides of the edge.
+        builder_.add_arc(from, p, weight());
+        builder_.add_arc(p, u, weight());
+        maybe_load_tokens(p);
+        grow(u, depth_left - 1);
+    }
+
+    void grow_choice(pn::transition_id from, int depth_left)
+    {
+        const auto p = builder_.add_place(fresh("c"));
+        if (!first_choice_.valid()) {
+            first_choice_ = p;
+        }
+        const std::int64_t w = weight();
+        builder_.add_arc(from, p, w);
+        const int alternatives =
+            static_cast<int>(rng_.range(2, std::max(2, options_.max_alternatives)));
+        for (int i = 0; i < alternatives; ++i) {
+            const auto alt = builder_.add_transition(fresh("t"));
+            builder_.add_arc(p, alt, w); // equal conflict: identical Pre vectors
+            grow(alt, depth_left - 1);
+        }
+    }
+
+    void grow_fork_join(pn::transition_id from, int depth_left)
+    {
+        const auto pa = builder_.add_place(fresh("p"));
+        const auto pb = builder_.add_place(fresh("p"));
+        const auto u = builder_.add_transition(fresh("t"));
+        const std::int64_t wa = weight();
+        const std::int64_t wb = weight();
+        // Matched weights on both legs keep the join balanced one-to-one.
+        builder_.add_arc(from, pa, wa);
+        builder_.add_arc(from, pb, wb);
+        builder_.add_arc(pa, u, wa);
+        builder_.add_arc(pb, u, wb);
+        maybe_load_tokens(pa);
+        grow(u, depth_left - 1);
+    }
+
+    pn::net_builder& builder_;
+    prng& rng_;
+    const generator_options& options_;
+    int choice_percent_ = 0;
+    int fork_percent_ = 0;
+    int serial_ = 0;
+    pn::place_id first_choice_;
+};
+
+} // namespace
+
+net_generator::net_generator(std::uint64_t seed, generator_options options)
+    : seed_(seed), options_(options), state_(seed ? seed : 0x9e3779b97f4a7c15ULL)
+{
+    if (options_.sources < 1 || options_.depth < 1 || options_.max_weight < 1 ||
+        options_.max_alternatives < 2) {
+        throw model_error("net_generator: sources/depth/max_weight must be >= 1 "
+                          "and max_alternatives >= 2");
+    }
+    if (options_.choice_percent < 0 || options_.choice_percent > 100 ||
+        options_.defect_percent < 0 || options_.defect_percent > 100) {
+        throw model_error("net_generator: percentages must be in [0, 100]");
+    }
+}
+
+pn::petri_net net_generator::next()
+{
+    prng rng(state_);
+    const std::string name = std::string("gen_") + to_string(options_.family) + "_s" +
+                             std::to_string(seed_) + "_n" + std::to_string(generated_);
+    pn::net_builder builder(name);
+    grower g(builder, rng, options_);
+    for (int s = 0; s < options_.sources; ++s) {
+        const auto source = builder.add_transition("src" + std::to_string(s));
+        g.grow(source, options_.depth);
+    }
+    if (options_.defect_percent > 0 &&
+        rng.below(100) < static_cast<std::uint64_t>(options_.defect_percent)) {
+        g.inject_defect();
+    }
+    state_ = rng.state() ^ (0x9e3779b97f4a7c15ULL + generated_);
+    if (state_ == 0) {
+        state_ = 0x9e3779b97f4a7c15ULL;
+    }
+    ++generated_;
+    return std::move(builder).build();
+}
+
+std::vector<pn::petri_net> net_generator::make(std::size_t count)
+{
+    std::vector<pn::petri_net> nets;
+    nets.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        nets.push_back(next());
+    }
+    return nets;
+}
+
+} // namespace fcqss::pipeline

@@ -1,0 +1,161 @@
+// fcqss — pipeline/synthesis_pipeline.hpp
+// Batch orchestration of the whole synthesis flow.  One net runs through the
+// staged pipeline
+//
+//   parse -> classify (net_class) -> structural (invariants / rank)
+//         -> schedule (qss) -> partition (tasks) -> codegen (C)
+//
+// and produces a pipeline_result: final status, per-stage wall times, the
+// diagnosis for rejected nets, and size metrics for generated code.  Stages
+// short-circuit: a net that fails to parse never reaches classify, a
+// non-free-choice net never reaches the scheduler, an unschedulable net
+// carries the qss_result diagnosis instead of code.  run() drives a whole
+// vector of sources through a fixed-size thread pool (pipeline/executor);
+// every net is processed independently and failures are confined to their
+// own result, so one bad net never poisons the batch and per-net statuses
+// are identical no matter how many worker threads ran.
+#ifndef FCQSS_PIPELINE_SYNTHESIS_PIPELINE_HPP
+#define FCQSS_PIPELINE_SYNTHESIS_PIPELINE_HPP
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "codegen/task_codegen.hpp"
+#include "pn/net_class.hpp"
+#include "pn/petri_net.hpp"
+#include "qss/scheduler.hpp"
+
+namespace fcqss::pipeline {
+
+/// Final disposition of one net.
+enum class pipeline_status {
+    ok,              ///< synthesized end to end
+    load_failed,     ///< file could not be read
+    parse_failed,    ///< `.pn` text was syntactically invalid
+    invalid_model,   ///< parsed but structurally malformed
+    not_free_choice, ///< outside the class the QSS algorithm accepts
+    not_schedulable, ///< in class, but no valid schedule exists
+    resource_limit,  ///< a configured bound (allocation cap, ...) was hit
+    failed,          ///< unexpected internal error (isolated to this net)
+};
+
+[[nodiscard]] const char* to_string(pipeline_status status);
+
+/// Pipeline stages, in execution order (indices into stage timings).
+enum class pipeline_stage { parse, classify, structural, schedule, partition, codegen };
+
+inline constexpr std::size_t stage_count = 6;
+
+[[nodiscard]] const char* to_string(pipeline_stage stage);
+
+/// One unit of batch input: a named `.pn` text, a file path, or an already
+/// built net (the generator path — no parsing involved).
+struct net_source {
+    std::string name;
+    std::string text;
+    bool is_path = false;
+    std::shared_ptr<const pn::petri_net> prebuilt;
+
+    [[nodiscard]] static net_source from_text(std::string name, std::string text);
+    [[nodiscard]] static net_source from_file(std::string path);
+    [[nodiscard]] static net_source from_net(pn::petri_net net);
+};
+
+/// Per-stage wall-clock times; a stage that never ran stays at 0.
+struct stage_timings {
+    std::array<double, stage_count> micros{};
+
+    [[nodiscard]] double operator[](pipeline_stage s) const
+    {
+        return micros[static_cast<std::size_t>(s)];
+    }
+    [[nodiscard]] double total() const;
+};
+
+/// Everything the pipeline learned about one net.
+struct pipeline_result {
+    std::size_t index = 0; ///< position in the input batch
+    std::string name;
+    pipeline_status status = pipeline_status::failed;
+    /// Why the net stopped short of `ok` (free-choice violation, the
+    /// qss_result diagnosis, the exception message, ...).  Empty on success.
+    std::string diagnosis;
+
+    // Classify / structural facts (valid once those stages ran).
+    pn::net_class klass = pn::net_class::general;
+    std::size_t places = 0;
+    std::size_t transitions = 0;
+    std::size_t arcs = 0;
+    bool consistent = false;
+
+    // Scheduling facts.
+    std::size_t allocations = 0;
+    std::size_t cycles = 0;
+    std::size_t tasks = 0;
+
+    // Codegen facts.
+    std::size_t code_bytes = 0;
+    int code_lines = 0;
+    /// The emitted C, retained only when pipeline_options::keep_code.
+    std::string code;
+
+    stage_timings timings;
+
+    [[nodiscard]] bool ok() const { return status == pipeline_status::ok; }
+};
+
+/// Aggregate of one run() call.
+struct batch_report {
+    std::vector<pipeline_result> results; ///< in input order
+    std::size_t jobs = 1;                 ///< worker threads used
+    double wall_micros = 0;               ///< end-to-end batch wall time
+
+    [[nodiscard]] std::size_t count(pipeline_status status) const;
+    [[nodiscard]] double nets_per_second() const;
+    /// Sum of a stage's time across all nets (CPU time, not wall time).
+    [[nodiscard]] double stage_micros(pipeline_stage stage) const;
+    /// Human-readable multi-line summary.
+    [[nodiscard]] std::string summary() const;
+};
+
+struct pipeline_options {
+    /// Worker threads; 0 picks std::thread::hardware_concurrency().
+    std::size_t jobs = 0;
+    /// Stop after the schedule/partition stages instead of emitting C.
+    bool generate_code = true;
+    /// Run the structural stage (invariant consistency).  Off saves the
+    /// Farkas enumeration when only schedulability matters.
+    bool structural_analysis = true;
+    /// Retain the emitted C text in each result (memory-heavy on batches).
+    bool keep_code = false;
+    qss::scheduler_options scheduler{};
+    cgen::codegen_options codegen{};
+};
+
+class synthesis_pipeline {
+public:
+    explicit synthesis_pipeline(pipeline_options options = {});
+
+    [[nodiscard]] const pipeline_options& options() const noexcept { return options_; }
+
+    /// Runs one source through every stage on the calling thread.  Never
+    /// throws for per-net problems; the status/diagnosis carry them.
+    [[nodiscard]] pipeline_result run_one(const net_source& source) const;
+
+    /// Runs the whole batch on the thread pool; results come back in input
+    /// order regardless of completion order.
+    [[nodiscard]] batch_report run(const std::vector<net_source>& sources) const;
+
+    /// Convenience: batch over `.pn` files.
+    [[nodiscard]] batch_report run_files(const std::vector<std::string>& paths) const;
+
+private:
+    pipeline_options options_;
+};
+
+} // namespace fcqss::pipeline
+
+#endif // FCQSS_PIPELINE_SYNTHESIS_PIPELINE_HPP

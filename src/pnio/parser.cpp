@@ -168,11 +168,20 @@ pn::petri_net load_net(const std::string& path)
 {
     std::ifstream file(path);
     if (!file) {
-        throw error("load_net: cannot open '" + path + "'");
+        throw io_error("load_net: cannot open '" + path + "'");
     }
     std::ostringstream contents;
     contents << file.rdbuf();
-    return parse_net(contents.str());
+    // Re-raise parse/model errors with the file path prepended: in batch
+    // mode a bare "expected ';'" is useless without knowing which of a
+    // thousand inputs produced it.
+    try {
+        return parse_net(contents.str());
+    } catch (const parse_error& e) {
+        throw parse_error::with_context(path, e);
+    } catch (const model_error& e) {
+        throw model_error(path + ": " + e.what());
+    }
 }
 
 } // namespace fcqss::pnio

@@ -54,11 +54,11 @@ void save_net(const pn::petri_net& net, const std::string& path)
 {
     std::ofstream file(path);
     if (!file) {
-        throw error("save_net: cannot open '" + path + "' for writing");
+        throw io_error("save_net: cannot open '" + path + "' for writing");
     }
     file << write_net(net);
     if (!file) {
-        throw error("save_net: write to '" + path + "' failed");
+        throw io_error("save_net: write to '" + path + "' failed");
     }
 }
 

@@ -1,28 +1,12 @@
 #include "qss/executability.hpp"
 
 #include "base/error.hpp"
+#include "base/prng.hpp"
 #include "pn/firing.hpp"
 
 namespace fcqss::qss {
 
 namespace {
-
-// xorshift* PRNG, deterministic across platforms.
-class prng {
-public:
-    explicit prng(std::uint64_t seed) : state_(seed ? seed : 0x9e3779b97f4a7c15ULL) {}
-
-    std::uint64_t below(std::uint64_t bound)
-    {
-        state_ ^= state_ >> 12;
-        state_ ^= state_ << 25;
-        state_ ^= state_ >> 27;
-        return (state_ * 0x2545f4914f6cdd1dULL) % bound;
-    }
-
-private:
-    std::uint64_t state_;
-};
 
 // Fires `cycle` from m; returns the failing position or nullopt.
 std::optional<std::size_t> run_cycle(const pn::petri_net& net, pn::marking& m,

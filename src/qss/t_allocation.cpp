@@ -45,7 +45,7 @@ enumerate_allocations(const std::vector<choice_cluster>& clusters,
 {
     const std::size_t total = allocation_count(clusters);
     if (total > max_allocations) {
-        throw error("enumerate_allocations: " + std::to_string(total) +
+        throw resource_limit_error("enumerate_allocations: " + std::to_string(total) +
                     " allocations exceed the configured limit of " +
                     std::to_string(max_allocations));
     }

@@ -144,6 +144,33 @@ TEST(writer, file_round_trip)
     EXPECT_THROW((void)load_net("/nonexistent/path/x.pn"), error);
 }
 
+TEST(writer, load_errors_carry_the_file_path)
+{
+    const std::string path = ::testing::TempDir() + "fcqss_bad_syntax.pn";
+    {
+        std::ofstream out(path);
+        out << "net broken { places { p } }"; // missing ';'
+    }
+    try {
+        (void)load_net(path);
+        FAIL() << "expected parse_error";
+    } catch (const parse_error& e) {
+        EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+        EXPECT_GT(e.line(), 0); // location survives the rewrap
+    }
+    {
+        std::ofstream out(path);
+        out << "net broken { places { p; p; } }"; // duplicate place
+    }
+    try {
+        (void)load_net(path);
+        FAIL() << "expected model_error";
+    } catch (const model_error& e) {
+        EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+    }
+    std::remove(path.c_str());
+}
+
 TEST(dot, renders_structure)
 {
     dot_options options;

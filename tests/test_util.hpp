@@ -8,6 +8,7 @@
 #include <functional>
 #include <vector>
 
+#include "base/prng.hpp"
 #include "codegen/interpreter.hpp"
 #include "pn/builder.hpp"
 #include "pn/firing.hpp"
@@ -15,31 +16,8 @@
 
 namespace fcqss::testutil {
 
-/// Small deterministic PRNG (xorshift*), independent of <random>.
-class prng {
-public:
-    explicit prng(std::uint64_t seed) : state_(seed ? seed : 0x9e3779b97f4a7c15ULL) {}
-
-    std::uint64_t next()
-    {
-        state_ ^= state_ >> 12;
-        state_ ^= state_ << 25;
-        state_ ^= state_ >> 27;
-        return state_ * 0x2545f4914f6cdd1dULL;
-    }
-
-    /// Uniform in [0, bound).
-    std::uint64_t below(std::uint64_t bound) { return next() % bound; }
-
-    /// Uniform in [lo, hi] inclusive.
-    std::int64_t range(std::int64_t lo, std::int64_t hi)
-    {
-        return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo + 1)));
-    }
-
-private:
-    std::uint64_t state_;
-};
+/// The shared deterministic PRNG (see base/prng.hpp).
+using fcqss::prng;
 
 struct random_net_options {
     int sources = 2;          // independent inputs
