@@ -64,8 +64,8 @@ void bm_static_schedule_chain(benchmark::State& state)
         (void)graph.add_actor("a" + std::to_string(i));
     }
     for (int i = 0; i + 1 < actors; ++i) {
-        graph.add_channel(static_cast<sdf::actor_id>(i), static_cast<sdf::actor_id>(i + 1),
-                          1 + i % 2, 1 + (i + 1) % 2);
+        graph.add_channel(static_cast<sdf::actor_id>(i),
+                          static_cast<sdf::actor_id>(i + 1), 1 + i % 2, 1 + (i + 1) % 2);
     }
     for (auto _ : state) {
         benchmark::DoNotOptimize(sdf::compute_static_schedule(graph));

@@ -23,7 +23,8 @@ void report()
     benchutil::row("schedulable (paper: yes)", result.schedulable ? "yes" : "no");
     for (std::size_t i = 0; i < result.entries.size(); ++i) {
         benchutil::row("cycle " + std::to_string(i) +
-                           (i == 0 ? " (paper: t1 t2 t1 t2 t4)" : " (paper: t1 t3 t5 t5)"),
+                           (i == 0 ? " (paper: t1 t2 t1 t2 t4)"
+                                     : " (paper: t1 t3 t5 t5)"),
                        to_string(net, result.entries[i].analysis.cycle));
     }
     benchutil::row("Definition 3.1 validity check",

@@ -58,12 +58,15 @@ void report()
     benchutil::row("nets", std::to_string(serial.results.size()));
     benchutil::row("synthesized ok",
                    std::to_string(serial.count(pipeline::pipeline_status::ok)));
-    benchutil::row("rejected not-free-choice",
-                   std::to_string(serial.count(pipeline::pipeline_status::not_free_choice)));
-    benchutil::row("rejected not-schedulable",
-                   std::to_string(serial.count(pipeline::pipeline_status::not_schedulable)));
-    benchutil::row("capped resource-limit",
-                   std::to_string(serial.count(pipeline::pipeline_status::resource_limit)));
+    benchutil::row(
+        "rejected not-free-choice",
+        std::to_string(serial.count(pipeline::pipeline_status::not_free_choice)));
+    benchutil::row(
+        "rejected not-schedulable",
+        std::to_string(serial.count(pipeline::pipeline_status::not_schedulable)));
+    benchutil::row(
+        "capped resource-limit",
+        std::to_string(serial.count(pipeline::pipeline_status::resource_limit)));
 
     benchutil::heading("Batch synthesis throughput vs worker threads");
     const double base = serial.nets_per_second();

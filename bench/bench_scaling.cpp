@@ -5,9 +5,13 @@
 // and prints the measured series.
 #include "bench_util.hpp"
 
+#include <chrono>
+
 #include "codegen/c_emitter.hpp"
 #include "codegen/task_codegen.hpp"
+#include "pipeline/net_generator.hpp"
 #include "pn/builder.hpp"
+#include "pn/reachability.hpp"
 #include "qss/scheduler.hpp"
 #include "qss/task_partition.hpp"
 
@@ -48,8 +52,105 @@ pn::petri_net pipeline(int length)
     return std::move(b).build();
 }
 
+// The first generated net of `family` with at least `min_transitions`
+// transitions, growing the generator knobs until one appears (the growth is
+// random, so single draws can come up short).
+pn::petri_net generated_net(pipeline::net_family family, std::size_t min_transitions)
+{
+    pipeline::generator_options options;
+    options.family = family;
+    options.token_load = 2;
+    // Start each family just under the floor (growth is exponential in depth
+    // for the branching families, linear for marked graphs) so the nets land
+    // near min_transitions instead of far above it.
+    switch (family) {
+    case pipeline::net_family::marked_graph:
+        options.sources = 10;
+        options.depth = 50;
+        break;
+    case pipeline::net_family::free_choice:
+        options.sources = 4;
+        options.depth = 12;
+        break;
+    case pipeline::net_family::choice_heavy:
+        options.sources = 3;
+        options.depth = 7;
+        break;
+    }
+    for (;;) {
+        pipeline::net_generator generator(99, options);
+        for (int i = 0; i < 4; ++i) {
+            pn::petri_net net = generator.next();
+            if (net.transition_count() >= min_transitions) {
+                return net;
+            }
+        }
+        options.depth += 2;
+        ++options.sources;
+    }
+}
+
+// Best-of-`runs` wall-clock states/second of one exploration function.
+template <typename Explore>
+double states_per_second(const pn::petri_net& net,
+                         const pn::reachability_options& options, Explore&& explore_fn,
+                         int runs, std::size_t& states_out)
+{
+    double best_seconds = 0.0;
+    for (int run = 0; run < runs; ++run) {
+        const auto start = std::chrono::steady_clock::now();
+        const pn::reachability_graph graph = explore_fn(net, options);
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start;
+        states_out = graph.size();
+        benchmark::DoNotOptimize(graph);
+        if (run == 0 || elapsed.count() < best_seconds) {
+            best_seconds = elapsed.count();
+        }
+    }
+    return static_cast<double>(states_out) / best_seconds;
+}
+
+// Before/after rows for the arena-interned state-space engine (this PR's
+// tentpole): explore() now runs on pn/state_space.hpp, explore_reference()
+// is the pre-refactor naive BFS kept for exactly this comparison.
+void report_state_space_engine()
+{
+    benchutil::heading("state-space engine states/second (arena vs naive reference)");
+    std::printf("  %8s %8s %8s %12s %12s %9s\n", "family", "|T|", "states", "ref st/s",
+                "arena st/s", "speedup");
+    const pn::reachability_options options{.max_markings = 4000,
+                                           .max_tokens_per_place = 1 << 20};
+    for (const pipeline::net_family family :
+         {pipeline::net_family::free_choice, pipeline::net_family::choice_heavy,
+          pipeline::net_family::marked_graph}) {
+        const pn::petri_net net = generated_net(family, 500);
+        std::size_t states = 0;
+        // One reference run (it is the slow side by orders of magnitude),
+        // best-of-three for the arena engine.
+        const double reference =
+            states_per_second(net, options, pn::explore_reference, 1, states);
+        const double arena = states_per_second(net, options, pn::explore, 3, states);
+        std::printf("  %8s %8zu %8zu %12.0f %12.0f %8.1fx\n",
+                    pipeline::to_string(family), net.transition_count(), states,
+                    reference, arena, arena / reference);
+        const std::string prefix = std::string(pipeline::to_string(family)) + " ";
+        benchutil::row(prefix + "transitions", std::to_string(net.transition_count()));
+        benchutil::row(prefix + "states explored", std::to_string(states));
+        benchutil::row(prefix + "reference states/s",
+                       std::to_string(static_cast<long long>(reference)));
+        benchutil::row(prefix + "arena states/s",
+                       std::to_string(static_cast<long long>(arena)));
+        char speedup[32];
+        std::snprintf(speedup, sizeof speedup, "%.2f", arena / reference);
+        benchutil::row(prefix + "speedup", speedup);
+    }
+}
+
 void report()
 {
+    report_state_space_engine();
+
     benchutil::heading("T-reduction count vs number of choices (exponential)");
     std::printf("  %8s %12s %12s\n", "choices", "allocations", "reductions");
     for (int choices = 1; choices <= 10; ++choices) {
@@ -72,6 +173,32 @@ void report()
                     static_cast<double>(lines) / length);
     }
 }
+
+void bm_explore_arena(benchmark::State& state)
+{
+    const auto net = generated_net(pipeline::net_family::free_choice, 500);
+    const pn::reachability_options options{.max_markings =
+                                               static_cast<std::size_t>(state.range(0)),
+                                           .max_tokens_per_place = 1 << 20};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(pn::explore(net, options));
+    }
+}
+BENCHMARK(bm_explore_arena)->Arg(1000)->Arg(4000);
+
+void bm_explore_reference(benchmark::State& state)
+{
+    const auto net = generated_net(pipeline::net_family::free_choice, 500);
+    const pn::reachability_options options{.max_markings =
+                                               static_cast<std::size_t>(state.range(0)),
+                                           .max_tokens_per_place = 1 << 20};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(pn::explore_reference(net, options));
+    }
+}
+// The reference is ~two orders of magnitude slower; keep its timing loop
+// small so default bench runs stay bounded.
+BENCHMARK(bm_explore_reference)->Arg(1000);
 
 void bm_qss_vs_choices(benchmark::State& state)
 {

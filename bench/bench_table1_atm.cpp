@@ -30,7 +30,8 @@ void report()
     const auto stats = pn::statistics(net);
     benchutil::row("transitions (paper: 49)", std::to_string(stats.transitions));
     benchutil::row("places (paper: 41)", std::to_string(stats.places));
-    benchutil::row("non-deterministic choices (paper: 11)", std::to_string(stats.choices));
+    benchutil::row("non-deterministic choices (paper: 11)",
+                   std::to_string(stats.choices));
     const auto schedule = qss::quasi_static_schedule(net);
     benchutil::row("finite complete cycles in valid schedule (paper: 120)",
                    std::to_string(schedule.entries.size()));

@@ -116,7 +116,8 @@ int usage()
                  "usage: pn_tool {analyze|schedule|report|codegen|dot} model.pn\n"
                  "       pn_tool batch [--jobs N] [--max-allocations A] [--no-codegen]\n"
                  "                     [--verbose] model.pn...\n"
-                 "       pn_tool generate [--seed S] [--count N] [--family fc|mg|choice]\n"
+                 "       pn_tool generate [--seed S] [--count N] "
+                 "[--family fc|mg|choice]\n"
                  "                        [--sources K] [--depth D] [--tokens L]\n"
                  "                        [--defects P] --out DIR\n");
     return 2;

@@ -38,7 +38,8 @@ int atm_state::pick_min_finish() const
         if (flows[vc].queue.empty()) {
             continue;
         }
-        if (best < 0 || flows[vc].finish_time < flows[static_cast<std::size_t>(best)].finish_time) {
+        if (best < 0 ||
+            flows[vc].finish_time < flows[static_cast<std::size_t>(best)].finish_time) {
             best = static_cast<int>(vc);
         }
     }

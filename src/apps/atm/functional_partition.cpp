@@ -152,7 +152,8 @@ functional_partition build_functional_partition(const pn::petri_net& net)
             throw internal_error("functional_partition: module subnet '" + module_name +
                                  "' is not schedulable: " + task.schedule.diagnosis);
         }
-        const qss::task_partition groups = qss::partition_tasks(task.subnet, task.schedule);
+        const qss::task_partition groups =
+            qss::partition_tasks(task.subnet, task.schedule);
         task.program = cgen::generate_program(task.subnet, task.schedule, groups);
         result.modules.push_back(std::move(task));
     }

@@ -65,7 +65,8 @@ implementation_report run_qss_implementation(const std::vector<input_event>& eve
     sim.register_task("task_Cell",
                       [state, instance, cells, oracle, apply, cell_source](
                           rtos::task_context&, const rtos::message& m) {
-                          state->current_cell = cells->at(static_cast<std::size_t>(m.value));
+                          state->current_cell =
+                              cells->at(static_cast<std::size_t>(m.value));
                           auto stats = instance->run_source(cell_source, oracle, apply);
                           state->current_cell.reset();
                           return stats;
@@ -85,12 +86,13 @@ implementation_report run_qss_implementation(const std::vector<input_event>& eve
     return report;
 }
 
-implementation_report run_functional_implementation(const std::vector<input_event>& events,
-                                                    int flow_count,
-                                                    const rtos::cost_model& costs)
+implementation_report
+run_functional_implementation(const std::vector<input_event>& events, int flow_count,
+                              const rtos::cost_model& costs)
 {
     const pn::petri_net net = build_atm_net();
-    auto partition = std::make_shared<functional_partition>(build_functional_partition(net));
+    auto partition =
+        std::make_shared<functional_partition>(build_functional_partition(net));
 
     implementation_report report;
     report.name = "functional task partitioning";

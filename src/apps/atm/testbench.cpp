@@ -36,7 +36,8 @@ std::vector<input_event> make_testbench(const testbench_options& options)
                              static_cast<std::uint64_t>(options.mean_cell_gap - 1))));
 
         // Pick a VC, preferring one with an open message so messages finish.
-        int vc = static_cast<int>(rng.below(static_cast<std::uint64_t>(options.flow_count)));
+        int vc =
+            static_cast<int>(rng.below(static_cast<std::uint64_t>(options.flow_count)));
         for (int probe = 0; probe < options.flow_count; ++probe) {
             const int candidate = (vc + probe) % options.flow_count;
             if (progress[static_cast<std::size_t>(candidate)].remaining > 0 ||

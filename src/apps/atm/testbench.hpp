@@ -30,7 +30,8 @@ struct testbench_options {
 
 /// Deterministic (seeded) event trace: `cell_count` cells plus enough ticks
 /// to drain the buffer afterwards, merged in time order.
-[[nodiscard]] std::vector<input_event> make_testbench(const testbench_options& options = {});
+[[nodiscard]] std::vector<input_event>
+make_testbench(const testbench_options& options = {});
 
 } // namespace fcqss::atm
 

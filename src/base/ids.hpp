@@ -41,6 +41,57 @@ using place_id = typed_index<place_tag>;
 /// Index of a transition within a petri_net.
 using transition_id = typed_index<transition_tag>;
 
+/// A lightweight view over the contiguous id range [0, count): iterating it
+/// yields Id{0}, Id{1}, ... without materializing a vector, so range-for
+/// loops over all places/transitions cost nothing inside hot loops.
+template <typename Id>
+class id_range {
+public:
+    class iterator {
+    public:
+        using value_type = Id;
+        using difference_type = std::ptrdiff_t;
+
+        constexpr iterator() noexcept = default;
+        constexpr explicit iterator(std::int32_t value) noexcept : value_(value) {}
+
+        constexpr Id operator*() const noexcept { return Id{value_}; }
+        constexpr iterator& operator++() noexcept
+        {
+            ++value_;
+            return *this;
+        }
+        constexpr iterator operator++(int) noexcept
+        {
+            const iterator before = *this;
+            ++value_;
+            return before;
+        }
+
+        friend constexpr bool operator==(iterator, iterator) noexcept = default;
+
+    private:
+        std::int32_t value_ = 0;
+    };
+
+    constexpr id_range() noexcept = default;
+    constexpr explicit id_range(std::size_t count) noexcept
+        : count_(static_cast<std::int32_t>(count))
+    {
+    }
+
+    [[nodiscard]] constexpr iterator begin() const noexcept { return iterator{0}; }
+    [[nodiscard]] constexpr iterator end() const noexcept { return iterator{count_}; }
+    [[nodiscard]] constexpr std::size_t size() const noexcept
+    {
+        return static_cast<std::size_t>(count_);
+    }
+    [[nodiscard]] constexpr bool empty() const noexcept { return count_ == 0; }
+
+private:
+    std::int32_t count_ = 0;
+};
+
 } // namespace fcqss
 
 template <typename Tag>

@@ -65,7 +65,8 @@ struct lin_options {
                                          const lin_options& options = {});
 
 /// Renders the machine as C (switch over the state variable).
-[[nodiscard]] std::string emit_lin_c(const pn::petri_net& net, const lin_program& program);
+[[nodiscard]] std::string emit_lin_c(const pn::petri_net& net,
+                                     const lin_program& program);
 
 } // namespace fcqss::baselines
 

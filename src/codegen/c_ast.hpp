@@ -70,7 +70,8 @@ struct stmt {
 [[nodiscard]] stmt make_counter_add(pn::place_id p, std::int64_t delta);
 [[nodiscard]] stmt make_if(guard g, block body);
 [[nodiscard]] stmt make_while(guard g, block body);
-[[nodiscard]] stmt make_choice(pn::place_id p, std::vector<pn::transition_id> alternatives,
+[[nodiscard]] stmt make_choice(pn::place_id p,
+                               std::vector<pn::transition_id> alternatives,
                                std::vector<block> branches);
 [[nodiscard]] stmt make_goto(std::string label);
 [[nodiscard]] stmt make_label(std::string label);

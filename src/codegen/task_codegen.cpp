@@ -241,7 +241,8 @@ private:
             return;
         }
         const auto merged = tail_merge_label_.find(unit_key);
-        if (tail && merged != tail_merge_label_.end() && merged->second.second == use_while) {
+        if (tail && merged != tail_merge_label_.end() &&
+            merged->second.second == use_while) {
             used_labels_.insert(merged->second.first);
             out.push_back(make_goto(merged->second.first));
             return;
@@ -306,8 +307,8 @@ private:
                                 : make_if(std::move(g), std::move(body)));
     }
 
-    void emit_single_consumer_unit(pn::place_id p, bool elided, bool use_while, block& out,
-                                   bool tail)
+    void emit_single_consumer_unit(pn::place_id p, bool elided, bool use_while,
+                                   block& out, bool tail)
     {
         const pn::transition_weight consumer = ctx_.net.consumers(p).front();
         if (elided) {
@@ -358,7 +359,8 @@ private:
 
 } // namespace
 
-generated_program generate_program(const pn::petri_net& net, const qss::qss_result& result,
+generated_program generate_program(const pn::petri_net& net,
+                                   const qss::qss_result& result,
                                    const qss::task_partition& partition,
                                    const codegen_options& options)
 {

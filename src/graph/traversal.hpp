@@ -15,8 +15,8 @@ namespace fcqss::graph {
 [[nodiscard]] std::vector<bool> reachable_from(const digraph& g, std::size_t start);
 
 /// Vertices reachable from any vertex in `starts`.
-[[nodiscard]] std::vector<bool> reachable_from_any(const digraph& g,
-                                                   const std::vector<std::size_t>& starts);
+[[nodiscard]] std::vector<bool>
+reachable_from_any(const digraph& g, const std::vector<std::size_t>& starts);
 
 /// True when the underlying undirected graph is connected (or empty).
 [[nodiscard]] bool is_weakly_connected(const digraph& g);

@@ -132,7 +132,8 @@ std::vector<int_vector> minimal_semiflows(const int_matrix& a,
                 const std::int64_t p_scale = qv / g;
                 const std::int64_t q_scale = pv / g;
                 work_row merged;
-                merged.residual = add(scale(p.residual, p_scale), scale(q.residual, q_scale));
+                merged.residual =
+                    add(scale(p.residual, p_scale), scale(q.residual, q_scale));
                 merged.combination =
                     add(scale(p.combination, p_scale), scale(q.combination, q_scale));
                 normalize_row(merged);

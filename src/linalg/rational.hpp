@@ -16,7 +16,8 @@ namespace fcqss::linalg {
 class rational {
 public:
     constexpr rational() noexcept : num_(0), den_(1) {}
-    rational(std::int64_t numerator);   // NOLINT(google-explicit-constructor) — ints convert exactly
+    // NOLINTNEXTLINE(google-explicit-constructor) — ints convert exactly
+    rational(std::int64_t numerator);
     rational(std::int64_t numerator, std::int64_t denominator);
 
     [[nodiscard]] std::int64_t num() const noexcept { return num_; }

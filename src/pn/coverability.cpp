@@ -1,30 +1,24 @@
 #include "pn/coverability.hpp"
 
 #include <deque>
-#include <unordered_set>
 
 #include "base/error.hpp"
 #include "linalg/checked.hpp"
+#include "pn/marking_store.hpp"
 
 namespace fcqss::pn {
 
 namespace {
 
-// Hash of an omega-marking for global deduplication.
-struct omega_hash {
-    std::size_t operator()(const omega_marking& m) const noexcept
-    {
-        std::size_t hash = 14695981039346656037ULL;
-        for (const omega_count& c : m) {
-            auto bits = static_cast<std::uint64_t>(c.value);
-            for (int byte = 0; byte < 8; ++byte) {
-                hash ^= (bits >> (byte * 8)) & 0xffU;
-                hash *= 1099511628211ULL;
-            }
-        }
-        return hash;
+// Flattens an omega-marking to raw counts (omega encodes as its sentinel
+// value) so it can be interned in a marking_store for deduplication.
+void flatten(const omega_marking& m, std::vector<std::int64_t>& out)
+{
+    out.resize(m.size());
+    for (std::size_t i = 0; i < m.size(); ++i) {
+        out[i] = m[i].value;
     }
-};
+}
 
 omega_marking to_omega(const std::vector<std::int64_t>& tokens)
 {
@@ -89,15 +83,20 @@ coverability_tree build_coverability_tree(const petri_net& net,
                                           const coverability_options& options)
 {
     coverability_tree tree;
-    tree.nodes.push_back({to_omega(net.initial_marking_vector()), 0, transition_id{}, {}});
+    tree.nodes.push_back(
+        {to_omega(net.initial_marking_vector()), 0, transition_id{}, {}});
 
     // Global dedup: an omega-marking seen anywhere already generates the
     // same subtree, so only its first occurrence is expanded.  This turns
     // the Karp–Miller tree into the (equivalent for boundedness and
     // coverability) coverability graph and avoids path-count blowup on
-    // symmetric nets.
-    std::unordered_set<omega_marking, omega_hash> expanded;
-    expanded.insert(tree.nodes.front().state);
+    // symmetric nets.  The seen set is an arena-backed marking_store
+    // (omega flattened to its sentinel count) instead of a node-based
+    // unordered_set.
+    marking_store expanded(net.place_count());
+    std::vector<std::int64_t> flat;
+    flatten(tree.nodes.front().state, flat);
+    expanded.intern(flat.data(), marking_store::hash_tokens(flat.data(), flat.size()));
 
     std::deque<std::size_t> frontier{0};
     while (!frontier.empty()) {
@@ -135,7 +134,12 @@ coverability_tree build_coverability_tree(const petri_net& net,
                 tree.truncated = true;
                 return tree;
             }
-            const bool fresh = expanded.insert(next).second;
+            flatten(next, flat);
+            const bool fresh =
+                expanded
+                    .intern(flat.data(),
+                            marking_store::hash_tokens(flat.data(), flat.size()))
+                    .second;
             const std::size_t child_index = tree.nodes.size();
             tree.nodes.push_back({std::move(next), node_index, t, {}});
             tree.nodes[node_index].children.emplace_back(t, child_index);

@@ -51,8 +51,8 @@ struct coverability_tree {
 };
 
 /// Builds the Karp–Miller tree from the net's initial marking.
-[[nodiscard]] coverability_tree build_coverability_tree(const petri_net& net,
-                                                        const coverability_options& options = {});
+[[nodiscard]] coverability_tree
+build_coverability_tree(const petri_net& net, const coverability_options& options = {});
 
 /// True when no omega appears in the tree: the net is bounded for arbitrary
 /// firing from its initial marking.  (Exact when !tree.truncated.)

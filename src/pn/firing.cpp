@@ -20,11 +20,17 @@ void fire(const petri_net& net, marking& m, transition_id t)
         throw domain_error("fire: transition '" + net.transition_name(t) +
                            "' is not enabled");
     }
+    fire_unchecked(net, m, t);
+}
+
+void fire_unchecked(const petri_net& net, marking& m, transition_id t)
+{
+    std::int64_t* tokens = m.mutable_data();
     for (const place_weight& in : net.inputs(t)) {
-        m.add_tokens(in.place, -in.weight);
+        tokens[in.place.index()] -= in.weight;
     }
     for (const place_weight& out : net.outputs(t)) {
-        m.add_tokens(out.place, out.weight);
+        tokens[out.place.index()] += out.weight;
     }
 }
 
@@ -33,7 +39,7 @@ bool try_fire(const petri_net& net, marking& m, transition_id t)
     if (!is_enabled(net, m, t)) {
         return false;
     }
-    fire(net, m, t);
+    fire_unchecked(net, m, t);
     return true;
 }
 

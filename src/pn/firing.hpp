@@ -22,7 +22,13 @@ using firing_sequence = std::vector<transition_id>;
 /// each output place.  Throws domain_error when t is not enabled.
 void fire(const petri_net& net, marking& m, transition_id t);
 
-/// Fires t if enabled; returns whether it fired.
+/// Fires t without re-checking enabledness.  Precondition:
+/// is_enabled(net, m, t); token counts go negative (silently) otherwise.
+/// This is the fast path fire/try_fire delegate to after their one check.
+void fire_unchecked(const petri_net& net, marking& m, transition_id t);
+
+/// Fires t if enabled; returns whether it fired.  Enabledness is checked
+/// exactly once.
 bool try_fire(const petri_net& net, marking& m, transition_id t);
 
 /// All transitions enabled at m, in ascending id order.
@@ -38,8 +44,8 @@ bool try_fire(const petri_net& net, marking& m, transition_id t);
                                                    const firing_sequence& sequence);
 
 /// The firing-count vector f(sigma): entry t counts occurrences of t.
-[[nodiscard]] std::vector<std::int64_t> firing_count_vector(const petri_net& net,
-                                                            const firing_sequence& sequence);
+[[nodiscard]] std::vector<std::int64_t>
+firing_count_vector(const petri_net& net, const firing_sequence& sequence);
 
 /// True when firing `sequence` from the net's initial marking succeeds and
 /// returns to the initial marking — i.e. the sequence is a *finite complete
@@ -48,7 +54,8 @@ bool try_fire(const petri_net& net, marking& m, transition_id t);
                                             const firing_sequence& sequence);
 
 /// Renders a sequence as "t1 t2 t4" using net names.
-[[nodiscard]] std::string to_string(const petri_net& net, const firing_sequence& sequence);
+[[nodiscard]] std::string to_string(const petri_net& net,
+                                    const firing_sequence& sequence);
 
 } // namespace fcqss::pn
 

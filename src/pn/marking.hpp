@@ -39,6 +39,10 @@ public:
         return tokens_;
     }
 
+    /// Raw mutable access for engine fast paths (pn::fire_unchecked).
+    /// Callers are responsible for keeping every count non-negative.
+    [[nodiscard]] std::int64_t* mutable_data() noexcept { return tokens_.data(); }
+
     /// Componentwise >= comparison (marking covering).
     [[nodiscard]] bool covers(const marking& other) const;
 

@@ -1,0 +1,124 @@
+#include "pn/marking_store.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace fcqss::pn {
+
+namespace {
+
+constexpr std::size_t initial_table_capacity = 64;
+constexpr std::size_t target_chunk_bytes = std::size_t{1} << 18; // 256 KiB
+
+std::uint64_t splitmix64(std::uint64_t x) noexcept
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+marking_store::marking_store(std::size_t width)
+    : width_(width),
+      states_per_chunk_(width == 0
+                            ? std::size_t{1} << 16
+                            : std::max<std::size_t>(1, target_chunk_bytes /
+                                                           (width * sizeof(std::int64_t)))),
+      table_(initial_table_capacity, invalid_state),
+      table_mask_(initial_table_capacity - 1)
+{
+}
+
+std::uint64_t marking_store::component_mix(std::size_t place, std::int64_t count) noexcept
+{
+    return splitmix64(static_cast<std::uint64_t>(place) * 0x9e3779b97f4a7c15ULL ^
+                      static_cast<std::uint64_t>(count));
+}
+
+std::uint64_t marking_store::hash_tokens(const std::int64_t* tokens,
+                                         std::size_t count) noexcept
+{
+    std::uint64_t hash = 0x2545f4914f6cdd1dULL ^ count;
+    for (std::size_t i = 0; i < count; ++i) {
+        hash ^= component_mix(i, tokens[i]);
+    }
+    return hash;
+}
+
+bool marking_store::equal_at(state_id id, const std::int64_t* candidate) const noexcept
+{
+    return width_ == 0 ||
+           std::memcmp(tokens(id).data(), candidate, width_ * sizeof(std::int64_t)) == 0;
+}
+
+state_id marking_store::find(const std::int64_t* candidate,
+                             std::uint64_t hash) const noexcept
+{
+    for (std::size_t slot = hash & table_mask_;; slot = (slot + 1) & table_mask_) {
+        const state_id id = table_[slot];
+        if (id == invalid_state) {
+            return invalid_state;
+        }
+        if (hashes_[id] == hash && equal_at(id, candidate)) {
+            return id;
+        }
+    }
+}
+
+std::pair<state_id, bool> marking_store::intern(const std::int64_t* candidate,
+                                                std::uint64_t hash,
+                                                std::size_t max_states)
+{
+    std::size_t slot = hash & table_mask_;
+    for (;; slot = (slot + 1) & table_mask_) {
+        const state_id id = table_[slot];
+        if (id == invalid_state) {
+            break;
+        }
+        if (hashes_[id] == hash && equal_at(id, candidate)) {
+            return {id, false};
+        }
+    }
+    if (size() >= max_states) {
+        return {invalid_state, false};
+    }
+
+    const state_id id = static_cast<state_id>(size());
+    if (id % states_per_chunk_ == 0) {
+        chunks_.emplace_back();
+        chunks_.back().reserve(states_per_chunk_ * width_);
+    }
+    chunks_.back().insert(chunks_.back().end(), candidate, candidate + width_);
+    hashes_.push_back(hash);
+    table_[slot] = id;
+
+    // Keep the load factor below ~0.7 (power-of-two capacity, linear probes).
+    if (size() * 10 >= (table_mask_ + 1) * 7) {
+        grow_table();
+    }
+    return {id, true};
+}
+
+void marking_store::grow_table()
+{
+    const std::size_t capacity = (table_mask_ + 1) * 2;
+    table_.assign(capacity, invalid_state);
+    table_mask_ = capacity - 1;
+    for (state_id id = 0; id < static_cast<state_id>(size()); ++id) {
+        std::size_t slot = hashes_[id] & table_mask_;
+        while (table_[slot] != invalid_state) {
+            slot = (slot + 1) & table_mask_;
+        }
+        table_[slot] = id;
+    }
+}
+
+std::size_t marking_store::memory_bytes() const noexcept
+{
+    return chunks_.size() * states_per_chunk_ * width_ * sizeof(std::int64_t) +
+           hashes_.size() * sizeof(std::uint64_t) + table_.size() * sizeof(state_id);
+}
+
+} // namespace fcqss::pn

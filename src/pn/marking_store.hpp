@@ -1,0 +1,95 @@
+// fcqss — pn/marking_store.hpp
+// Arena-interned marking storage for explicit-state exploration.  Every
+// distinct marking is stored exactly once as a contiguous span of token
+// counts inside a chunked bump arena and addressed by a dense 32-bit
+// state_id; a separate open-addressing hash set (keyed by precomputed
+// 64-bit hashes) deduplicates candidates without per-state heap nodes.
+// Spans handed out by tokens() stay valid for the life of the store —
+// the arena grows by whole chunks, never by reallocation.
+#ifndef FCQSS_PN_MARKING_STORE_HPP
+#define FCQSS_PN_MARKING_STORE_HPP
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace fcqss::pn {
+
+/// Dense index of an interned marking within a marking_store.
+using state_id = std::uint32_t;
+
+/// Sentinel for "no such state".
+inline constexpr state_id invalid_state = static_cast<state_id>(-1);
+
+class marking_store {
+public:
+    /// A store for markings of `width` places.
+    explicit marking_store(std::size_t width);
+
+    /// Number of token counts per marking (|P| of the net).
+    [[nodiscard]] std::size_t width() const noexcept { return width_; }
+    /// Number of distinct markings interned so far.
+    [[nodiscard]] std::size_t size() const noexcept { return hashes_.size(); }
+
+    /// 64-bit hash of a token vector.  Zobrist-style: the hash is the XOR of
+    /// a per-(place, count) mix, so callers that change a few places can
+    /// update a running hash incrementally with component_mix() instead of
+    /// rehashing the whole vector.
+    [[nodiscard]] static std::uint64_t hash_tokens(const std::int64_t* tokens,
+                                                   std::size_t count) noexcept;
+
+    /// The contribution of (place index, token count) to hash_tokens; XOR
+    /// out the old count's mix and XOR in the new one to update a hash.
+    [[nodiscard]] static std::uint64_t component_mix(std::size_t place,
+                                                     std::int64_t count) noexcept;
+
+    /// Interns `tokens` (length width()) whose hash_tokens value is `hash`.
+    /// Returns the state id and whether the marking was newly inserted.
+    /// When inserting would grow the store past `max_states`, returns
+    /// {invalid_state, false} and leaves the store untouched.
+    std::pair<state_id, bool>
+    intern(const std::int64_t* tokens, std::uint64_t hash,
+           std::size_t max_states = static_cast<std::size_t>(-1));
+
+    /// Looks `tokens` up without inserting; invalid_state when absent.
+    [[nodiscard]] state_id find(const std::int64_t* tokens,
+                                std::uint64_t hash) const noexcept;
+
+    /// The interned token span of `id`.  Stable across later interns.
+    [[nodiscard]] std::span<const std::int64_t> tokens(state_id id) const noexcept
+    {
+        return {chunks_[id / states_per_chunk_].data() +
+                    static_cast<std::size_t>(id % states_per_chunk_) * width_,
+                width_};
+    }
+
+    /// The precomputed hash of `id` (as passed to intern()).
+    [[nodiscard]] std::uint64_t stored_hash(state_id id) const noexcept
+    {
+        return hashes_[id];
+    }
+
+    /// Approximate arena + table footprint, for telemetry and benches.
+    [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
+private:
+    [[nodiscard]] bool equal_at(state_id id, const std::int64_t* tokens) const noexcept;
+    void grow_table();
+
+    std::size_t width_;
+    std::size_t states_per_chunk_;
+    /// Bump arena: fixed-capacity chunks of states_per_chunk_ * width_
+    /// counts; chunk vectors are reserved up front so spans never move.
+    std::vector<std::vector<std::int64_t>> chunks_;
+    /// Per-state precomputed hashes, indexed by state_id.
+    std::vector<std::uint64_t> hashes_;
+    /// Open-addressing table of state ids (invalid_state = empty slot);
+    /// capacity is a power of two, rebuilt from hashes_ on growth.
+    std::vector<state_id> table_;
+    std::size_t table_mask_ = 0;
+};
+
+} // namespace fcqss::pn
+
+#endif // FCQSS_PN_MARKING_STORE_HPP

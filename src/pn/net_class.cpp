@@ -69,7 +69,8 @@ std::string describe_free_choice_violation(const petri_net& net)
         }
         for (const transition_weight& consumer : consumers) {
             if (net.inputs(consumer.transition).size() != 1) {
-                return "place '" + net.place_name(p) + "' is a choice but its consumer '" +
+                return "place '" + net.place_name(p) +
+                       "' is a choice but its consumer '" +
                        net.transition_name(consumer.transition) +
                        "' has additional input places (free-choice requires every "
                        "successor of a choice to have exactly one predecessor place)";

@@ -100,24 +100,4 @@ std::int64_t petri_net::initial_tokens(place_id p) const
     return initial_marking_[p.index()];
 }
 
-std::vector<place_id> petri_net::places() const
-{
-    std::vector<place_id> result;
-    result.reserve(place_count());
-    for (std::size_t i = 0; i < place_count(); ++i) {
-        result.emplace_back(static_cast<std::int32_t>(i));
-    }
-    return result;
-}
-
-std::vector<transition_id> petri_net::transitions() const
-{
-    std::vector<transition_id> result;
-    result.reserve(transition_count());
-    for (std::size_t i = 0; i < transition_count(); ++i) {
-        result.emplace_back(static_cast<std::int32_t>(i));
-    }
-    return result;
-}
-
 } // namespace fcqss::pn

@@ -17,6 +17,7 @@ namespace fcqss::pn {
 
 // The strong index types live in fcqss::; re-export them so dependent
 // modules can spell pn::place_id / pn::transition_id.
+using fcqss::id_range;
 using fcqss::place_id;
 using fcqss::transition_id;
 
@@ -87,10 +88,17 @@ public:
         return initial_marking_;
     }
 
-    /// All place ids, 0..|P|-1 (convenience for range-for).
-    [[nodiscard]] std::vector<place_id> places() const;
-    /// All transition ids, 0..|T|-1.
-    [[nodiscard]] std::vector<transition_id> transitions() const;
+    /// All place ids, 0..|P|-1, as a zero-cost view (convenience for
+    /// range-for; nothing is materialized).
+    [[nodiscard]] id_range<place_id> places() const noexcept
+    {
+        return id_range<place_id>{place_count()};
+    }
+    /// All transition ids, 0..|T|-1, as a zero-cost view.
+    [[nodiscard]] id_range<transition_id> transitions() const noexcept
+    {
+        return id_range<transition_id>{transition_count()};
+    }
 
 private:
     friend class net_builder;

@@ -3,10 +3,33 @@
 #include <deque>
 
 #include "base/error.hpp"
+#include "pn/state_space.hpp"
 
 namespace fcqss::pn {
 
 reachability_graph explore(const petri_net& net, const reachability_options& options)
+{
+    const state_space space = explore_state_space(
+        net, {.max_states = options.max_markings,
+              .max_tokens_per_place = options.max_tokens_per_place});
+
+    reachability_graph graph;
+    graph.truncated = space.truncated();
+    graph.nodes.reserve(space.state_count());
+    for (state_id s = 0; s < static_cast<state_id>(space.state_count()); ++s) {
+        reachability_node node{space.marking_of(s), {}};
+        const std::span<const state_space_edge> edges = space.successors(s);
+        node.successors.reserve(edges.size());
+        for (const state_space_edge& edge : edges) {
+            node.successors.emplace_back(edge.via, static_cast<std::size_t>(edge.to));
+        }
+        graph.nodes.push_back(std::move(node));
+    }
+    return graph;
+}
+
+reachability_graph explore_reference(const petri_net& net,
+                                     const reachability_options& options)
 {
     reachability_graph graph;
     std::unordered_map<marking, std::size_t, marking_hash> index_of;
@@ -56,7 +79,8 @@ reachability_graph explore(const petri_net& net, const reachability_options& opt
     return graph;
 }
 
-std::optional<marking> find_deadlock(const petri_net& net, const reachability_graph& graph)
+std::optional<marking> find_deadlock(const petri_net& net,
+                                     const reachability_graph& graph)
 {
     for (const reachability_node& node : graph.nodes) {
         if (is_deadlocked(net, node.state)) {

@@ -42,9 +42,18 @@ struct reachability_graph {
     [[nodiscard]] std::size_t size() const noexcept { return nodes.size(); }
 };
 
-/// Breadth-first exploration from the net's initial marking.
+/// Breadth-first exploration from the net's initial marking.  Runs on the
+/// arena-interned state-space engine (pn/state_space.hpp); the graph is
+/// materialized from the engine's compact representation at the end.
 [[nodiscard]] reachability_graph explore(const petri_net& net,
                                          const reachability_options& options = {});
+
+/// The pre-engine exploration: a naive BFS deduplicating through an
+/// unordered_map of marking objects.  Visits exactly the same states and
+/// edges as explore(), in the same order — kept as the reference for
+/// differential tests and for before/after rows in bench_scaling.
+[[nodiscard]] reachability_graph
+explore_reference(const petri_net& net, const reachability_options& options = {});
 
 /// A reachable dead marking, if exploration finds one (nullopt when the
 /// explored region is deadlock-free; see reachability_graph::truncated).

@@ -30,7 +30,8 @@ using place_set = std::vector<place_id>;
                                                      std::size_t max_results = 4096);
 
 /// The largest trap contained in `places` (possibly empty).
-[[nodiscard]] place_set maximal_trap_within(const petri_net& net, const place_set& places);
+[[nodiscard]] place_set maximal_trap_within(const petri_net& net,
+                                            const place_set& places);
 
 /// True when `places` contains a token under the net's initial marking.
 [[nodiscard]] bool is_marked_set(const petri_net& net, const place_set& places);

@@ -1,0 +1,213 @@
+#include "pn/state_space.hpp"
+
+#include <algorithm>
+
+namespace fcqss::pn {
+
+namespace {
+
+bool enabled_in(const petri_net& net, const std::vector<std::int64_t>& tokens,
+                transition_id t)
+{
+    for (const place_weight& in : net.inputs(t)) {
+        if (tokens[in.place.index()] < in.weight) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+marking state_space::marking_of(state_id s) const
+{
+    const std::span<const std::int64_t> span = store_.tokens(s);
+    return marking(std::vector<std::int64_t>(span.begin(), span.end()));
+}
+
+state_space explore_state_space(const petri_net& net, const state_space_options& options)
+{
+    const std::size_t width = net.place_count();
+    const std::int64_t cap = options.max_tokens_per_place;
+
+    state_space result;
+    result.store_ = marking_store(width);
+
+    // affected[t]: transitions whose enabledness can change when t fires —
+    // the consumers of every place t consumes from or produces into.
+    std::vector<std::vector<transition_id>> affected(net.transition_count());
+    for (transition_id t : net.transitions()) {
+        std::vector<transition_id>& list = affected[t.index()];
+        for (const place_weight& in : net.inputs(t)) {
+            for (const transition_weight& c : net.consumers(in.place)) {
+                list.push_back(c.transition);
+            }
+        }
+        for (const place_weight& out : net.outputs(t)) {
+            for (const transition_weight& c : net.consumers(out.place)) {
+                list.push_back(c.transition);
+            }
+        }
+        std::sort(list.begin(), list.end());
+        list.erase(std::unique(list.begin(), list.end()), list.end());
+    }
+
+    const std::vector<std::int64_t>& m0 = net.initial_marking_vector();
+    const std::uint64_t root_hash = marking_store::hash_tokens(m0.data(), width);
+    result.store_.intern(m0.data(), root_hash);
+
+    // Every interned state except possibly the root obeys the token cap in
+    // every place (successors are rejected otherwise), so per-edge cap
+    // checking only needs the places the fired transition raised.  The root
+    // is taken as given; if it already exceeds the cap somewhere, its own
+    // expansion scans the full vector instead.
+    bool root_over_cap = false;
+    for (std::int64_t count : m0) {
+        if (count > cap) {
+            root_over_cap = true;
+            break;
+        }
+    }
+
+    // Per-state enabled sets (ascending by transition id), kept only until
+    // the state is expanded.  The root's is the one full scan.
+    std::vector<std::vector<transition_id>> enabled_of(1);
+    for (transition_id t : net.transitions()) {
+        if (enabled_in(net, m0, t)) {
+            enabled_of[0].push_back(t);
+        }
+    }
+
+    std::vector<std::int64_t> scratch(width);
+    std::vector<transition_id> merged;
+    result.edge_offsets_.push_back(0);
+
+    // Discovery order is expansion order: states get ascending ids and are
+    // expanded in id order, which is exactly the reference BFS.
+    for (state_id s = 0; s < static_cast<state_id>(result.store_.size()); ++s) {
+        const std::span<const std::int64_t> current = result.store_.tokens(s);
+        std::copy(current.begin(), current.end(), scratch.begin());
+        const std::uint64_t current_hash = result.store_.stored_hash(s);
+        const std::vector<transition_id> enabled = std::move(enabled_of[s]);
+        const bool full_cap_scan = root_over_cap && s == 0;
+
+        for (transition_id t : enabled) {
+            // Fire t into scratch, updating the hash per touched place.
+            std::uint64_t next_hash = current_hash;
+            bool over_cap = false;
+            for (const place_weight& in : net.inputs(t)) {
+                std::int64_t& count = scratch[in.place.index()];
+                next_hash ^= marking_store::component_mix(in.place.index(), count);
+                count -= in.weight;
+                next_hash ^= marking_store::component_mix(in.place.index(), count);
+            }
+            for (const place_weight& out : net.outputs(t)) {
+                std::int64_t& count = scratch[out.place.index()];
+                next_hash ^= marking_store::component_mix(out.place.index(), count);
+                count += out.weight;
+                next_hash ^= marking_store::component_mix(out.place.index(), count);
+                over_cap |= count > cap;
+            }
+            if (full_cap_scan && !over_cap) {
+                for (const std::int64_t count : scratch) {
+                    if (count > cap) {
+                        over_cap = true;
+                        break;
+                    }
+                }
+            }
+
+            if (over_cap) {
+                result.truncated_ = true;
+            } else {
+                const auto [to, inserted] =
+                    result.store_.intern(scratch.data(), next_hash, options.max_states);
+                if (to == invalid_state) {
+                    result.truncated_ = true;
+                } else {
+                    result.edges_.push_back({t, to});
+                    if (inserted) {
+                        // Incremental enabled set of the successor: statuses
+                        // carry over except for the consumers of touched
+                        // places, which are re-checked against scratch.
+                        const std::vector<transition_id>& recheck = affected[t.index()];
+                        merged.clear();
+                        std::size_t i = 0;
+                        std::size_t j = 0;
+                        while (i < enabled.size() || j < recheck.size()) {
+                            if (j == recheck.size() ||
+                                (i < enabled.size() && enabled[i] < recheck[j])) {
+                                merged.push_back(enabled[i++]);
+                            } else {
+                                if (i < enabled.size() && enabled[i] == recheck[j]) {
+                                    ++i;
+                                }
+                                const transition_id candidate = recheck[j++];
+                                if (enabled_in(net, scratch, candidate)) {
+                                    merged.push_back(candidate);
+                                }
+                            }
+                        }
+                        enabled_of.push_back(merged);
+                    }
+                }
+            }
+
+            // Revert scratch to the tokens of s for the next enabled t.
+            for (const place_weight& in : net.inputs(t)) {
+                scratch[in.place.index()] += in.weight;
+            }
+            for (const place_weight& out : net.outputs(t)) {
+                scratch[out.place.index()] -= out.weight;
+            }
+        }
+        result.edge_offsets_.push_back(result.edges_.size());
+    }
+    return result;
+}
+
+token_game::token_game(const petri_net& net)
+    : net_(&net), tokens_(net.initial_marking_vector())
+{
+}
+
+void token_game::reset()
+{
+    tokens_ = net_->initial_marking_vector();
+}
+
+bool token_game::enabled(transition_id t) const
+{
+    return enabled_in(*net_, tokens_, t);
+}
+
+bool token_game::try_fire(transition_id t)
+{
+    if (!enabled(t)) {
+        return false;
+    }
+    for (const place_weight& in : net_->inputs(t)) {
+        tokens_[in.place.index()] -= in.weight;
+    }
+    for (const place_weight& out : net_->outputs(t)) {
+        tokens_[out.place.index()] += out.weight;
+    }
+    return true;
+}
+
+std::optional<std::size_t> token_game::run(const firing_sequence& sequence)
+{
+    for (std::size_t i = 0; i < sequence.size(); ++i) {
+        if (!try_fire(sequence[i])) {
+            return i;
+        }
+    }
+    return std::nullopt;
+}
+
+bool token_game::at_initial() const
+{
+    return tokens_ == net_->initial_marking_vector();
+}
+
+} // namespace fcqss::pn

@@ -1,0 +1,115 @@
+// fcqss — pn/state_space.hpp
+// The shared explicit-state exploration engine behind reachability,
+// deadlock, executability and valid-schedule checking.  Markings live in an
+// arena-backed marking_store; successor generation keeps each state's
+// enabled set incrementally — after firing t only the consumers of the
+// places t touched are re-checked (via petri_net::consumers), instead of
+// re-scanning every transition — and successor hashes are updated
+// Zobrist-style from the parent's hash in O(|arcs of t|).
+#ifndef FCQSS_PN_STATE_SPACE_HPP
+#define FCQSS_PN_STATE_SPACE_HPP
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "pn/firing.hpp"
+#include "pn/marking.hpp"
+#include "pn/marking_store.hpp"
+#include "pn/petri_net.hpp"
+
+namespace fcqss::pn {
+
+/// Budgets for explicit exploration, mirroring reachability_options.
+struct state_space_options {
+    std::size_t max_states = 100000;
+    std::int64_t max_tokens_per_place = 1 << 20;
+};
+
+/// One outgoing edge of a state: the transition fired and the successor.
+struct state_space_edge {
+    transition_id via;
+    state_id to;
+
+    friend bool operator==(const state_space_edge&, const state_space_edge&) = default;
+};
+
+/// The explored fragment of the reachability graph in compact form: interned
+/// states plus a CSR edge list (states are expanded in discovery order, so
+/// edges of state s occupy one contiguous run).
+class state_space {
+public:
+    [[nodiscard]] const marking_store& store() const noexcept { return store_; }
+    [[nodiscard]] std::size_t state_count() const noexcept { return store_.size(); }
+    [[nodiscard]] std::size_t edge_count() const noexcept { return edges_.size(); }
+    /// True when a budget stopped exploration; "for all reachable markings"
+    /// verdicts then only hold for the explored region.
+    [[nodiscard]] bool truncated() const noexcept { return truncated_; }
+
+    /// Token counts of state s (a stable span into the arena).
+    [[nodiscard]] std::span<const std::int64_t> tokens(state_id s) const noexcept
+    {
+        return store_.tokens(s);
+    }
+    /// Outgoing edges of s, ascending by transition id.
+    [[nodiscard]] std::span<const state_space_edge> successors(state_id s) const noexcept
+    {
+        return {edges_.data() + edge_offsets_[s],
+                edge_offsets_[s + 1] - edge_offsets_[s]};
+    }
+
+    /// Materializes state s as a marking object.
+    [[nodiscard]] marking marking_of(state_id s) const;
+
+private:
+    friend state_space explore_state_space(const petri_net& net,
+                                           const state_space_options& options);
+
+    marking_store store_{0};
+    std::vector<state_space_edge> edges_;
+    /// size state_count()+1; successors of s are edges_[offsets[s]..offsets[s+1]).
+    std::vector<std::size_t> edge_offsets_;
+    bool truncated_ = false;
+};
+
+/// Breadth-first exploration from the net's initial marking.  Visits exactly
+/// the states and edges of the naive reference exploration (reachability.cpp
+/// explore_reference), in the same order.
+[[nodiscard]] state_space explore_state_space(const petri_net& net,
+                                              const state_space_options& options = {});
+
+/// A reusable token-game runner over a dense token vector: one allocation
+/// per game, checked enabling, unchecked firing (pn::fire_unchecked).  The
+/// schedule-replay loops (qss executability / validity) use this instead of
+/// marking objects to avoid per-step allocation and double enabledness
+/// checks.
+class token_game {
+public:
+    explicit token_game(const petri_net& net);
+
+    /// Resets the tokens to the net's initial marking.
+    void reset();
+
+    [[nodiscard]] bool enabled(transition_id t) const;
+    /// Fires t when enabled; returns whether it fired.
+    bool try_fire(transition_id t);
+    /// Fires the whole sequence; returns the first failing position, or
+    /// nullopt when every transition fired.
+    std::optional<std::size_t> run(const firing_sequence& sequence);
+
+    /// True when the current tokens equal the initial marking.
+    [[nodiscard]] bool at_initial() const;
+    [[nodiscard]] const std::vector<std::int64_t>& tokens() const noexcept
+    {
+        return tokens_;
+    }
+
+private:
+    const petri_net* net_;
+    std::vector<std::int64_t> tokens_;
+};
+
+} // namespace fcqss::pn
+
+#endif // FCQSS_PN_STATE_SPACE_HPP

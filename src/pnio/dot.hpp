@@ -20,7 +20,8 @@ struct dot_options {
 
 /// Renders the net in DOT: places as circles (token count inside),
 /// transitions as boxes, weighted arcs labelled.
-[[nodiscard]] std::string to_dot(const pn::petri_net& net, const dot_options& options = {});
+[[nodiscard]] std::string to_dot(const pn::petri_net& net,
+                                 const dot_options& options = {});
 
 } // namespace fcqss::pnio
 

@@ -109,7 +109,8 @@ std::vector<token> tokenize(std::string_view source)
                 }
                 value = value * 10 + (d - '0');
             }
-            tokens.push_back({token_kind::integer, std::move(digits), value, line, column});
+            tokens.push_back(
+                {token_kind::integer, std::move(digits), value, line, column});
             continue;
         }
 

@@ -144,7 +144,8 @@ private:
                               from.column);
         }
         if (to_place == places_.end() && to_transition == transitions_.end()) {
-            throw parse_error("unknown arc endpoint '" + to.text + "'", to.line, to.column);
+            throw parse_error("unknown arc endpoint '" + to.text + "'", to.line,
+                              to.column);
         }
         throw parse_error("arc must connect a place and a transition: '" + from.text +
                               " -> " + to.text + "'",

@@ -10,7 +10,8 @@ namespace fcqss::qss {
 std::vector<choice_cluster> choice_clusters(const pn::petri_net& net)
 {
     if (!pn::is_free_choice(net)) {
-        throw domain_error("choice_clusters: net '" + net.name() + "' is not free-choice: " +
+        throw domain_error("choice_clusters: net '" + net.name() +
+                           "' is not free-choice: " +
                            pn::describe_free_choice_violation(net));
     }
     std::vector<choice_cluster> clusters;

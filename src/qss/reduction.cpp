@@ -66,7 +66,10 @@ private:
     {
         return result_.keep_transition[t.index()];
     }
-    [[nodiscard]] bool kept(pn::place_id p) const { return result_.keep_place[p.index()]; }
+    [[nodiscard]] bool kept(pn::place_id p) const
+    {
+        return result_.keep_place[p.index()];
+    }
 
     [[nodiscard]] bool has_kept_producer(pn::place_id p) const
     {
@@ -111,7 +114,8 @@ private:
         removed_transitions_.push_back(t);
     }
 
-    void remove_place(pn::place_id p, reduction_step::kind action, const std::string& reason)
+    void remove_place(pn::place_id p, reduction_step::kind action,
+                      const std::string& reason)
     {
         if (!kept(p)) {
             return;
@@ -190,7 +194,8 @@ private:
                 removed_transitions_.pop_front();
                 for (const pn::place_weight& out : net_.outputs(t_k)) {
                     if (kept(out.place) && !place_must_stay(out.place)) {
-                        remove_place(out.place, reduction_step::kind::remove_orphaned_place,
+                        remove_place(out.place,
+                                     reduction_step::kind::remove_orphaned_place,
                                      "no producer left and no surviving join");
                     }
                 }
@@ -256,7 +261,8 @@ reduced_net materialize(const pn::petri_net& net, const t_reduction& reduction)
         if (!reduction.keep_place[p.index()]) {
             continue;
         }
-        place_map[p.index()] = builder.add_place(net.place_name(p), net.initial_tokens(p));
+        place_map[p.index()] =
+            builder.add_place(net.place_name(p), net.initial_tokens(p));
         result.to_original_place.push_back(p);
     }
     std::vector<pn::transition_id> transition_map(net.transition_count());

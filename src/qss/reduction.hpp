@@ -74,7 +74,8 @@ struct reduced_net {
     std::vector<pn::place_id> to_original_place;
 };
 
-[[nodiscard]] reduced_net materialize(const pn::petri_net& net, const t_reduction& reduction);
+[[nodiscard]] reduced_net materialize(const pn::petri_net& net,
+                                      const t_reduction& reduction);
 
 } // namespace fcqss::qss
 

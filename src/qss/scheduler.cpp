@@ -15,7 +15,8 @@ std::vector<pn::firing_sequence> qss_result::cycles() const
     return result;
 }
 
-qss_result quasi_static_schedule(const pn::petri_net& net, const scheduler_options& options)
+qss_result quasi_static_schedule(const pn::petri_net& net,
+                                 const scheduler_options& options)
 {
     qss_result result;
     result.clusters = choice_clusters(net); // validates free choice

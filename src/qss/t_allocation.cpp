@@ -80,7 +80,8 @@ enumerate_allocations(const std::vector<choice_cluster>& clusters,
     }
 }
 
-std::string to_string(const pn::petri_net& net, const std::vector<choice_cluster>& clusters,
+std::string to_string(const pn::petri_net& net,
+                      const std::vector<choice_cluster>& clusters,
                       const t_allocation& allocation)
 {
     std::string text = "{";

@@ -31,8 +31,8 @@ std::int64_t simulate_batched(const pn::petri_net& net, const reduced_net& sub,
         for (std::size_t p = 0; p < sub.net.place_count(); ++p) {
             const std::size_t original =
                 sub.to_original_place[p].index();
-            peaks[original] = std::max(peaks[original],
-                                       m.tokens(pn::place_id{static_cast<std::int32_t>(p)}));
+            peaks[original] = std::max(
+                peaks[original], m.tokens(pn::place_id{static_cast<std::int32_t>(p)}));
         }
     };
     note_peaks();
@@ -123,7 +123,8 @@ std::vector<tradeoff_point> explore_tradeoff(const pn::petri_net& net,
                 point.schedule_length, simulate_batched(net, sub, target, peaks));
         }
         for (std::int64_t peak : peaks) {
-            point.total_buffer_tokens = linalg::checked_add(point.total_buffer_tokens, peak);
+            point.total_buffer_tokens =
+                linalg::checked_add(point.total_buffer_tokens, peak);
             point.max_place_tokens = std::max(point.max_place_tokens, peak);
         }
         curve.push_back(point);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "pn/state_space.hpp"
 #include "pn/structure.hpp"
 
 namespace fcqss::qss {
@@ -32,9 +33,14 @@ check_valid_schedule(const pn::petri_net& net,
 {
     const std::vector<pn::transition_id> sources = pn::source_transitions(net);
 
-    // Side conditions: finite complete cycles covering every source.
+    // Side conditions: finite complete cycles covering every source.  The
+    // replays share one token_game so checking a large schedule allocates
+    // no per-sequence markings.
+    pn::token_game game(net);
     for (std::size_t i = 0; i < schedule.size(); ++i) {
-        if (!pn::is_finite_complete_cycle(net, schedule[i])) {
+        game.reset();
+        const bool complete_cycle = !game.run(schedule[i]) && game.at_initial();
+        if (!complete_cycle) {
             return validity_violation{
                 validity_violation::kind::not_a_finite_complete_cycle, i, 0, {}};
         }

@@ -23,7 +23,8 @@ void rtos_simulator::register_task(const std::string& name, task_handler handler
 void rtos_simulator::post_external(std::int64_t time, const std::string& task, message m)
 {
     if (!handlers_.contains(task)) {
-        throw model_error("rtos_simulator: external event for unknown task '" + task + "'");
+        throw model_error("rtos_simulator: external event for unknown task '" + task +
+                          "'");
     }
     queue_.push({time, next_sequence_++, task, std::move(m), /*external=*/true});
 }

@@ -60,7 +60,8 @@ bool compress_pass(std::vector<schedule_node>& nodes)
             while (start + (repeats + 1) * period <= nodes.size()) {
                 bool same = true;
                 for (std::size_t k = 0; k < period && same; ++k) {
-                    same = nodes_equal(nodes[start + k], nodes[start + repeats * period + k]);
+                    same = nodes_equal(nodes[start + k],
+                                       nodes[start + repeats * period + k]);
                 }
                 if (!same) {
                     break;
@@ -77,11 +78,13 @@ bool compress_pass(std::vector<schedule_node>& nodes)
                 loop.actor = nodes[start].actor;
                 loop.count *= nodes[start].count;
             } else {
-                loop.body.assign(nodes.begin() + static_cast<std::ptrdiff_t>(start),
-                                 nodes.begin() + static_cast<std::ptrdiff_t>(start + period));
+                loop.body.assign(
+                    nodes.begin() + static_cast<std::ptrdiff_t>(start),
+                    nodes.begin() + static_cast<std::ptrdiff_t>(start + period));
             }
             nodes.erase(nodes.begin() + static_cast<std::ptrdiff_t>(start),
-                        nodes.begin() + static_cast<std::ptrdiff_t>(start + repeats * period));
+                        nodes.begin() +
+                            static_cast<std::ptrdiff_t>(start + repeats * period));
             nodes.insert(nodes.begin() + static_cast<std::ptrdiff_t>(start),
                          std::move(loop));
             return true;

@@ -55,11 +55,12 @@ struct looped_schedule {
 [[nodiscard]] bool is_admissible(const sdf_graph& graph, const looped_schedule& schedule);
 
 /// Peak channel fills while executing the looped schedule.
-[[nodiscard]] std::vector<std::int64_t> looped_buffer_bounds(const sdf_graph& graph,
-                                                             const looped_schedule& schedule);
+[[nodiscard]] std::vector<std::int64_t>
+looped_buffer_bounds(const sdf_graph& graph, const looped_schedule& schedule);
 
 /// Renders e.g. "(4 t1) (2 t2) t3".
-[[nodiscard]] std::string to_string(const sdf_graph& graph, const looped_schedule& schedule);
+[[nodiscard]] std::string to_string(const sdf_graph& graph,
+                                    const looped_schedule& schedule);
 
 } // namespace fcqss::sdf
 

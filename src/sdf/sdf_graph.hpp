@@ -47,7 +47,10 @@ public:
 
     [[nodiscard]] const std::string& actor_name(actor_id a) const;
     [[nodiscard]] const channel& channel_at(channel_id c) const;
-    [[nodiscard]] const std::vector<channel>& channels() const noexcept { return channels_; }
+    [[nodiscard]] const std::vector<channel>& channels() const noexcept
+    {
+        return channels_;
+    }
 
 private:
     std::string name_;

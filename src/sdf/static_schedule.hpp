@@ -44,7 +44,8 @@ struct static_schedule {
 [[nodiscard]] static_schedule compute_static_schedule(const sdf_graph& graph);
 
 /// Renders e.g. "a a b" using actor names.
-[[nodiscard]] std::string to_string(const sdf_graph& graph, const static_schedule& schedule);
+[[nodiscard]] std::string to_string(const sdf_graph& graph,
+                                    const static_schedule& schedule);
 
 } // namespace fcqss::sdf
 

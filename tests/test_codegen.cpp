@@ -204,8 +204,9 @@ TEST(interpreter, guards_against_misuse)
     program_instance instance(program);
     EXPECT_THROW((void)instance.run_fragment("nope", nullptr), error);
     // Fig. 4 queries a choice: running without an oracle must throw.
-    EXPECT_THROW((void)instance.run_source(nets::figure_4().find_transition("t1"), nullptr),
-                 error);
+    EXPECT_THROW(
+        (void)instance.run_source(nets::figure_4().find_transition("t1"), nullptr),
+        error);
 
     const choice_oracle bad = [](pn::place_id) { return 99; };
     EXPECT_THROW(

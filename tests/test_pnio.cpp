@@ -120,7 +120,8 @@ TEST(writer, round_trips_paper_nets)
             EXPECT_EQ(reparsed.initial_tokens(q), original.initial_tokens(p));
         }
         for (pn::transition_id t : original.transitions()) {
-            const pn::transition_id u = reparsed.find_transition(original.transition_name(t));
+            const pn::transition_id u =
+                reparsed.find_transition(original.transition_name(t));
             ASSERT_TRUE(u.valid());
             for (const pn::place_weight& in : original.inputs(t)) {
                 EXPECT_EQ(reparsed.arc_weight(
@@ -138,7 +139,8 @@ TEST(writer, file_round_trip)
     save_net(nets::figure_4(), path);
     const pn::petri_net loaded = load_net(path);
     EXPECT_EQ(loaded.name(), "fig4");
-    EXPECT_EQ(loaded.arc_weight(loaded.find_place("p2"), loaded.find_transition("t4")), 2);
+    EXPECT_EQ(loaded.arc_weight(loaded.find_place("p2"), loaded.find_transition("t4")),
+              2);
     std::remove(path.c_str());
 
     EXPECT_THROW((void)load_net("/nonexistent/path/x.pn"), error);
@@ -199,7 +201,8 @@ class parser_fuzz : public ::testing::TestWithParam<int> {};
 
 TEST_P(parser_fuzz, never_crashes)
 {
-    std::uint64_t state = static_cast<std::uint64_t>(GetParam()) * 0x9e3779b97f4a7c15ULL + 1;
+    std::uint64_t state =
+        static_cast<std::uint64_t>(GetParam()) * 0x9e3779b97f4a7c15ULL + 1;
     const auto rnd = [&state](std::uint64_t bound) {
         state ^= state >> 12;
         state ^= state << 25;

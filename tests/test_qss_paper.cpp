@@ -206,7 +206,8 @@ TEST(figure5, published_invariants_and_cycles)
     EXPECT_TRUE(contains_cycle(result, net,
                                {"t1", "t2", "t4", "t4", "t6", "t6", "t6", "t6", "t8",
                                 "t9", "t6"}));
-    EXPECT_TRUE(contains_cycle(result, net, {"t1", "t3", "t5", "t7", "t7", "t8", "t9", "t6"}));
+    EXPECT_TRUE(contains_cycle(result, net,
+                               {"t1", "t3", "t5", "t7", "t7", "t8", "t9", "t6"}));
     EXPECT_EQ(qss::check_valid_schedule(net, result.cycles()), std::nullopt);
 }
 

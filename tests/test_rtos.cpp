@@ -32,7 +32,8 @@ TEST(simulator, validates_registration)
     rtos_simulator sim;
     sim.register_task("a", [](task_context&, const message&) { return stats_with(0); });
     EXPECT_THROW(
-        sim.register_task("a", [](task_context&, const message&) { return stats_with(0); }),
+        sim.register_task(
+            "a", [](task_context&, const message&) { return stats_with(0); }),
         model_error);
     EXPECT_THROW(sim.register_task("b", nullptr), model_error);
     EXPECT_THROW(sim.post_external(0, "zzz", {}), model_error);
@@ -116,7 +117,8 @@ TEST(simulator, more_tasks_cost_more_for_same_work)
     cost_model costs;
 
     rtos_simulator fused(costs);
-    fused.register_task("all", [](task_context&, const message&) { return stats_with(3); });
+    fused.register_task(
+        "all", [](task_context&, const message&) { return stats_with(3); });
     fused.post_external(0, "all", {});
     const std::int64_t fused_cycles = fused.run().total_cycles;
 

@@ -198,7 +198,8 @@ class sdf_property : public ::testing::TestWithParam<int> {};
 
 TEST_P(sdf_property, period_restores_and_is_minimal)
 {
-    std::uint64_t state = static_cast<std::uint64_t>(GetParam()) * 0x9e3779b97f4a7c15ULL + 7;
+    std::uint64_t state =
+        static_cast<std::uint64_t>(GetParam()) * 0x9e3779b97f4a7c15ULL + 7;
     const auto rnd = [&state](std::uint64_t bound) {
         state ^= state >> 12;
         state ^= state << 25;

@@ -88,7 +88,8 @@ private:
 
 } // namespace
 
-pn::petri_net random_free_choice_net(std::uint64_t seed, const random_net_options& options)
+pn::petri_net random_free_choice_net(std::uint64_t seed,
+                                     const random_net_options& options)
 {
     pn::net_builder builder("random_" + std::to_string(seed));
     prng rng(seed);
@@ -122,7 +123,8 @@ void eager_react(const pn::petri_net& net, pn::marking& m, pn::transition_id sou
                 // Choice: while tokens suffice, let the oracle resolve.
                 while (m.tokens(p) >= consumers.front().weight) {
                     const int branch = choose(p);
-                    if (branch < 0 || static_cast<std::size_t>(branch) >= consumers.size()) {
+                    if (branch < 0 ||
+                        static_cast<std::size_t>(branch) >= consumers.size()) {
                         throw error("eager_react: oracle returned bad branch");
                     }
                     // Alternatives ascending by transition id to match the

@@ -33,8 +33,8 @@ struct random_net_options {
 /// that all terminate in sink transitions, weights paired so every path is
 /// balanced (producer weight w feeds a consumer of weight w or 1xw / wx1
 /// pairs that the QSS cycle covers).
-[[nodiscard]] pn::petri_net random_free_choice_net(std::uint64_t seed,
-                                                   const random_net_options& options = {});
+[[nodiscard]] pn::petri_net
+random_free_choice_net(std::uint64_t seed, const random_net_options& options = {});
 
 /// Eager reference semantics: fire `source`, then repeatedly fire any
 /// enabled non-source transition (choices resolved by the oracle, keyed by
