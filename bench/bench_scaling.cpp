@@ -11,7 +11,9 @@
 #include "codegen/task_codegen.hpp"
 #include "pipeline/net_generator.hpp"
 #include "pn/builder.hpp"
+#include "pn/parallel_explore.hpp"
 #include "pn/reachability.hpp"
+#include "pn/state_space.hpp"
 #include "qss/scheduler.hpp"
 #include "qss/task_partition.hpp"
 
@@ -147,9 +149,74 @@ void report_state_space_engine()
     }
 }
 
+// Best-of-`runs` wall-clock states/second of the engine itself (compact
+// state space, no graph materialization), at a given thread count.
+double engine_states_per_second(const pn::petri_net& net,
+                                const pn::reachability_options& options, int runs,
+                                std::size_t& states_out)
+{
+    double best_seconds = 0.0;
+    for (int run = 0; run < runs; ++run) {
+        const auto start = std::chrono::steady_clock::now();
+        const pn::state_space space = pn::explore_space(net, options);
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start;
+        states_out = space.state_count();
+        benchmark::DoNotOptimize(space);
+        if (run == 0 || elapsed.count() < best_seconds) {
+            best_seconds = elapsed.count();
+        }
+    }
+    return static_cast<double>(states_out) / best_seconds;
+}
+
+// Thread-scaling rows for the sharded parallel engine (PR 3 tentpole): the
+// same exploration at 1/2/4 threads against the sequential engine, on
+// >= 500-transition generated nets.  CI gates on the best "par4 speedup"
+// row staying >= 2x.
+void report_parallel_engine()
+{
+    benchutil::heading(
+        "parallel engine states/second (sharded workers vs sequential engine)");
+    std::printf("  %8s %8s %8s %12s %12s %12s %9s\n", "family", "|T|", "states",
+                "seq st/s", "par2 st/s", "par4 st/s", "par4 x");
+    pn::reachability_options options{.max_markings = 60000,
+                                     .max_tokens_per_place = 1 << 20};
+    for (const pipeline::net_family family :
+         {pipeline::net_family::free_choice, pipeline::net_family::choice_heavy,
+          pipeline::net_family::marked_graph}) {
+        const pn::petri_net net = generated_net(family, 500);
+        std::size_t states = 0;
+        options.threads = 1;
+        const double sequential = engine_states_per_second(net, options, 3, states);
+        options.threads = 2;
+        const double par2 = engine_states_per_second(net, options, 3, states);
+        options.threads = 4;
+        const double par4 = engine_states_per_second(net, options, 3, states);
+        std::printf("  %8s %8zu %8zu %12.0f %12.0f %12.0f %8.2fx\n",
+                    pipeline::to_string(family), net.transition_count(), states,
+                    sequential, par2, par4, par4 / sequential);
+        const std::string prefix = std::string(pipeline::to_string(family)) + " ";
+        benchutil::row(prefix + "par transitions",
+                       std::to_string(net.transition_count()));
+        benchutil::row(prefix + "seq states/s",
+                       std::to_string(static_cast<long long>(sequential)));
+        benchutil::row(prefix + "par2 states/s",
+                       std::to_string(static_cast<long long>(par2)));
+        benchutil::row(prefix + "par4 states/s",
+                       std::to_string(static_cast<long long>(par4)));
+        char speedup[32];
+        std::snprintf(speedup, sizeof speedup, "%.2f", par2 / sequential);
+        benchutil::row(prefix + "par2 speedup", speedup);
+        std::snprintf(speedup, sizeof speedup, "%.2f", par4 / sequential);
+        benchutil::row(prefix + "par4 speedup", speedup);
+    }
+}
+
 void report()
 {
     report_state_space_engine();
+    report_parallel_engine();
 
     benchutil::heading("T-reduction count vs number of choices (exponential)");
     std::printf("  %8s %12s %12s\n", "choices", "allocations", "reductions");
@@ -199,6 +266,19 @@ void bm_explore_reference(benchmark::State& state)
 // The reference is ~two orders of magnitude slower; keep its timing loop
 // small so default bench runs stay bounded.
 BENCHMARK(bm_explore_reference)->Arg(1000);
+
+void bm_explore_parallel(benchmark::State& state)
+{
+    const auto net = generated_net(pipeline::net_family::free_choice, 500);
+    const pn::parallel_explore_options options{
+        .threads = static_cast<std::size_t>(state.range(0)),
+        .max_states = 20000,
+        .max_tokens_per_place = 1 << 20};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(pn::explore_parallel(net, options));
+    }
+}
+BENCHMARK(bm_explore_parallel)->Arg(1)->Arg(2)->Arg(4);
 
 void bm_qss_vs_choices(benchmark::State& state)
 {

@@ -5,6 +5,10 @@
 //   pn_tool report   model.pn      full synthesis report
 //   pn_tool codegen  model.pn      emit the synthesized C to stdout
 //   pn_tool dot      model.pn      emit graphviz
+//   pn_tool explore  [--threads N] [--max-states S] [--max-tokens K]
+//                    model.pn      explicit state-space exploration on the
+//                                  engine (N != 1 runs the sharded parallel
+//                                  engine; results are identical)
 //   pn_tool batch    [--jobs N] [--max-allocations A] [--no-codegen]
 //                    [--verbose] model.pn...
 //                                  run the full flow over many nets in
@@ -15,6 +19,7 @@
 //
 // Example model files can be produced with pnio::save_net, written by hand
 // (see the grammar in src/pnio/lexer.hpp), or generated with `generate`.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,6 +34,7 @@
 #include "pn/coverability.hpp"
 #include "pn/invariants.hpp"
 #include "pn/net_class.hpp"
+#include "pn/reachability.hpp"
 #include "pn/structure.hpp"
 #include "pnio/dot.hpp"
 #include "pnio/parser.hpp"
@@ -114,6 +120,8 @@ int usage()
 {
     std::fprintf(stderr,
                  "usage: pn_tool {analyze|schedule|report|codegen|dot} model.pn\n"
+                 "       pn_tool explore [--threads N] [--max-states S]\n"
+                 "                       [--max-tokens K] model.pn\n"
                  "       pn_tool batch [--jobs N] [--max-allocations A] [--no-codegen]\n"
                  "                     [--verbose] model.pn...\n"
                  "       pn_tool generate [--seed S] [--count N] "
@@ -141,6 +149,63 @@ bool int_option(int argc, char** argv, int& i, const char* flag, long& out)
         std::exit(2);
     }
     return true;
+}
+
+int explore(int argc, char** argv)
+{
+    pn::reachability_options options;
+    options.threads = 1;
+    std::string path;
+    for (int i = 2; i < argc; ++i) {
+        long value = 0;
+        if (int_option(argc, argv, i, "--threads", value)) {
+            options.threads = value >= 0 ? static_cast<std::size_t>(value) : 1;
+        } else if (int_option(argc, argv, i, "--max-states", value)) {
+            options.max_markings = value > 0 ? static_cast<std::size_t>(value) : 1;
+        } else if (int_option(argc, argv, i, "--max-tokens", value)) {
+            options.max_tokens_per_place = value > 0 ? value : 1;
+        } else if (argv[i][0] == '-') {
+            std::fprintf(stderr, "unknown explore option '%s'\n", argv[i]);
+            return 2;
+        } else if (path.empty()) {
+            path = argv[i];
+        } else {
+            std::fprintf(stderr, "explore takes one model file\n");
+            return 2;
+        }
+    }
+    if (path.empty()) {
+        std::fprintf(stderr, "explore: no input file\n");
+        return 2;
+    }
+
+    const pn::petri_net net = pnio::load_net(path);
+    const pn::state_space space = pn::explore_space(net, options);
+    std::printf("net '%s': explored %zu states, %zu edges%s\n", net.name().c_str(),
+                space.state_count(), space.edge_count(),
+                space.truncated() ? " (truncated by budget)" : "");
+    std::printf("  store: %.2f MiB arena+table\n",
+                static_cast<double>(space.store().memory_bytes()) / (1024.0 * 1024.0));
+
+    const auto dead = pn::find_deadlock(net, space);
+    if (dead) {
+        std::printf("  deadlock: state %u reachable via %zu firings\n", *dead,
+                    pn::shortest_path_to(net, space, space.marking_of(*dead))
+                        .value_or(pn::firing_sequence{})
+                        .size());
+    } else {
+        std::printf("  deadlock: none%s\n",
+                    space.truncated() ? " in the explored region" : "");
+    }
+
+    const std::vector<std::int64_t> bounds = pn::place_bounds(space);
+    std::int64_t max_bound = 0;
+    for (const std::int64_t b : bounds) {
+        max_bound = std::max(max_bound, b);
+    }
+    std::printf("  max tokens in any place: %lld\n",
+                static_cast<long long>(max_bound));
+    return 0;
 }
 
 int batch(int argc, char** argv)
@@ -267,6 +332,14 @@ int main(int argc, char** argv)
     if (argc >= 2 && std::strcmp(argv[1], "generate") == 0) {
         try {
             return generate(argc, argv);
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 1;
+        }
+    }
+    if (argc >= 2 && std::strcmp(argv[1], "explore") == 0) {
+        try {
+            return explore(argc, argv);
         } catch (const std::exception& e) {
             std::fprintf(stderr, "error: %s\n", e.what());
             return 1;

@@ -1,25 +1,21 @@
-#include "pipeline/executor.hpp"
+#include "exec/executor.hpp"
 
 #include <utility>
 
-namespace fcqss::pipeline {
+namespace fcqss::exec {
 
-namespace {
-
-std::size_t resolve_jobs(std::size_t jobs)
+std::size_t resolve_thread_count(std::size_t threads) noexcept
 {
-    if (jobs != 0) {
-        return jobs;
+    if (threads != 0) {
+        return threads;
     }
     const unsigned hw = std::thread::hardware_concurrency();
     return hw ? hw : 1;
 }
 
-} // namespace
-
-executor::executor(std::size_t jobs) : queue_(2 * resolve_jobs(jobs))
+executor::executor(std::size_t jobs) : queue_(2 * resolve_thread_count(jobs))
 {
-    const std::size_t n = resolve_jobs(jobs);
+    const std::size_t n = resolve_thread_count(jobs);
     workers_.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
         workers_.emplace_back([this] { worker_loop(); });
@@ -86,4 +82,4 @@ void executor::for_each_index(std::size_t count,
     }
 }
 
-} // namespace fcqss::pipeline
+} // namespace fcqss::exec

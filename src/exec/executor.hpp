@@ -1,13 +1,17 @@
-// fcqss — pipeline/executor.hpp
+// fcqss — exec/executor.hpp
 // A fixed-size thread pool (std::jthread workers pulling from a bounded
-// job_queue) with the one primitive batch synthesis needs: run fn(i) for
-// every index in [0, count) and wait for all of them.  Jobs are expected to
-// handle their own failures (the pipeline isolates per-net errors); any
-// exception that escapes a job anyway is captured and rethrown to the
-// caller of for_each_index after the batch drains, so worker threads never
-// terminate the process.
-#ifndef FCQSS_PIPELINE_EXECUTOR_HPP
-#define FCQSS_PIPELINE_EXECUTOR_HPP
+// job_queue) with the one primitive both batch synthesis and the parallel
+// state-space engine need: run fn(i) for every index in [0, count) and wait
+// for all of them.  Jobs are expected to handle their own failures (callers
+// isolate per-item errors); any exception that escapes a job anyway is
+// captured and rethrown to the caller of for_each_index after the batch
+// drains, so worker threads never terminate the process.
+//
+// This used to live in src/pipeline/; it moved down a layer so that
+// src/pn/parallel_explore.cpp can drive shard workers over the same pool
+// without a pn -> pipeline dependency cycle.
+#ifndef FCQSS_EXEC_EXECUTOR_HPP
+#define FCQSS_EXEC_EXECUTOR_HPP
 
 #include <condition_variable>
 #include <cstddef>
@@ -17,9 +21,13 @@
 #include <thread>
 #include <vector>
 
-#include "pipeline/job_queue.hpp"
+#include "exec/job_queue.hpp"
 
-namespace fcqss::pipeline {
+namespace fcqss::exec {
+
+/// Resolves a user-facing thread-count option: 0 picks the hardware
+/// concurrency (at least 1), anything else is taken as given.
+[[nodiscard]] std::size_t resolve_thread_count(std::size_t threads) noexcept;
 
 class executor {
 public:
@@ -50,6 +58,6 @@ private:
     std::vector<std::jthread> workers_;
 };
 
-} // namespace fcqss::pipeline
+} // namespace fcqss::exec
 
-#endif // FCQSS_PIPELINE_EXECUTOR_HPP
+#endif // FCQSS_EXEC_EXECUTOR_HPP

@@ -1,12 +1,12 @@
-// fcqss — pipeline/job_queue.hpp
+// fcqss — exec/job_queue.hpp
 // Bounded multi-producer / multi-consumer job queue: the hand-off point
-// between the batch driver and the executor's worker threads.  Producers
-// block while the queue is full (back-pressure keeps memory bounded on huge
-// batches); consumers block while it is empty.  close() wakes everyone and
-// drains: pops keep returning queued items until the queue is empty, then
-// return nullopt.
-#ifndef FCQSS_PIPELINE_JOB_QUEUE_HPP
-#define FCQSS_PIPELINE_JOB_QUEUE_HPP
+// between a work driver and executor worker threads.  Producers block while
+// the queue is full (back-pressure keeps memory bounded on huge batches);
+// consumers block while it is empty.  close() wakes everyone and drains:
+// pops keep returning queued items until the queue is empty, then return
+// nullopt.
+#ifndef FCQSS_EXEC_JOB_QUEUE_HPP
+#define FCQSS_EXEC_JOB_QUEUE_HPP
 
 #include <condition_variable>
 #include <cstddef>
@@ -15,7 +15,7 @@
 #include <optional>
 #include <utility>
 
-namespace fcqss::pipeline {
+namespace fcqss::exec {
 
 template <typename T>
 class job_queue {
@@ -90,6 +90,6 @@ private:
     bool closed_ = false;
 };
 
-} // namespace fcqss::pipeline
+} // namespace fcqss::exec
 
-#endif // FCQSS_PIPELINE_JOB_QUEUE_HPP
+#endif // FCQSS_EXEC_JOB_QUEUE_HPP

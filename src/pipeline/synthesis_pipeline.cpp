@@ -8,7 +8,7 @@
 #include "base/error.hpp"
 #include "base/strings.hpp"
 #include "codegen/c_emitter.hpp"
-#include "pipeline/executor.hpp"
+#include "exec/executor.hpp"
 #include "pn/invariants.hpp"
 #include "pn/structure.hpp"
 #include "pnio/parser.hpp"
@@ -302,7 +302,7 @@ batch_report synthesis_pipeline::run(const std::vector<net_source>& sources) con
     batch_report report;
     report.results.resize(sources.size());
 
-    executor pool(options_.jobs);
+    exec::executor pool(options_.jobs);
     report.jobs = pool.jobs();
 
     const auto start = clock::now();

@@ -10,7 +10,7 @@
 // short-circuit: a net that fails to parse never reaches classify, a
 // non-free-choice net never reaches the scheduler, an unschedulable net
 // carries the qss_result diagnosis instead of code.  run() drives a whole
-// vector of sources through a fixed-size thread pool (pipeline/executor);
+// vector of sources through a fixed-size thread pool (exec::executor);
 // every net is processed independently and failures are confined to their
 // own result, so one bad net never poisons the batch and per-net statuses
 // are identical no matter how many worker threads ran.

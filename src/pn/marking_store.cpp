@@ -1,6 +1,7 @@
 #include "pn/marking_store.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cstring>
 
 namespace fcqss::pn {
@@ -67,43 +68,35 @@ state_id marking_store::find(const std::int64_t* candidate,
     }
 }
 
-std::pair<state_id, bool> marking_store::intern(const std::int64_t* candidate,
-                                                std::uint64_t hash,
-                                                std::size_t max_states)
+void marking_store::start_bulk_build(std::size_t count)
 {
-    std::size_t slot = hash & table_mask_;
-    for (;; slot = (slot + 1) & table_mask_) {
-        const state_id id = table_[slot];
-        if (id == invalid_state) {
-            break;
-        }
-        if (hashes_[id] == hash && equal_at(id, candidate)) {
-            return {id, false};
-        }
-    }
-    if (size() >= max_states) {
-        return {invalid_state, false};
-    }
-
-    const state_id id = static_cast<state_id>(size());
-    if (id % states_per_chunk_ == 0) {
-        chunks_.emplace_back();
-        chunks_.back().reserve(states_per_chunk_ * width_);
-    }
-    chunks_.back().insert(chunks_.back().end(), candidate, candidate + width_);
-    hashes_.push_back(hash);
-    table_[slot] = id;
-
-    // Keep the load factor below ~0.7 (power-of-two capacity, linear probes).
-    if (size() * 10 >= (table_mask_ + 1) * 7) {
-        grow_table();
-    }
-    return {id, true};
+    assert(size() == 0 && "bulk build requires an empty store");
+    grow_bulk_build(count);
 }
 
-void marking_store::grow_table()
+void marking_store::grow_bulk_build(std::size_t count)
 {
-    const std::size_t capacity = (table_mask_ + 1) * 2;
+    assert(count >= size());
+    const std::size_t chunk_count =
+        (count + states_per_chunk_ - 1) / states_per_chunk_;
+    chunks_.reserve(chunk_count);
+    while (chunks_.size() < chunk_count) {
+        chunks_.emplace_back(new std::int64_t[states_per_chunk_ * width_]);
+    }
+    hashes_.resize(count);
+}
+
+void marking_store::finish_bulk_build()
+{
+    std::size_t capacity = initial_table_capacity;
+    while (size() * 10 >= capacity * 7) {
+        capacity *= 2;
+    }
+    rebuild_table(capacity);
+}
+
+void marking_store::rebuild_table(std::size_t capacity)
+{
     table_.assign(capacity, invalid_state);
     table_mask_ = capacity - 1;
     for (state_id id = 0; id < static_cast<state_id>(size()); ++id) {

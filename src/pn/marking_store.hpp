@@ -5,11 +5,13 @@
 // state_id; a separate open-addressing hash set (keyed by precomputed
 // 64-bit hashes) deduplicates candidates without per-state heap nodes.
 // Spans handed out by tokens() stay valid for the life of the store —
-// the arena grows by whole chunks, never by reallocation.
+// the arena grows by whole fixed-capacity chunks, never by reallocation.
 #ifndef FCQSS_PN_MARKING_STORE_HPP
 #define FCQSS_PN_MARKING_STORE_HPP
 
 #include <cstdint>
+#include <cstring>
+#include <memory>
 #include <span>
 #include <utility>
 #include <vector>
@@ -50,7 +52,59 @@ public:
     /// {invalid_state, false} and leaves the store untouched.
     std::pair<state_id, bool>
     intern(const std::int64_t* tokens, std::uint64_t hash,
-           std::size_t max_states = static_cast<std::size_t>(-1));
+           std::size_t max_states = static_cast<std::size_t>(-1))
+    {
+        const std::size_t bytes = width_ * sizeof(std::int64_t);
+        return intern_with(
+            hash, max_states,
+            [&](const std::int64_t* stored) {
+                return bytes == 0 || std::memcmp(stored, tokens, bytes) == 0;
+            },
+            [&](std::int64_t* slot) { std::memcpy(slot, tokens, bytes); });
+    }
+
+    /// intern() with the token vector virtualized: `equals(stored)` decides
+    /// whether the candidate equals an already-interned vector, and
+    /// `fill(slot)` writes the candidate's width() counts directly into its
+    /// arena slot on insertion.  Neither is called unless the probe needs
+    /// it, so candidates that lose by hash alone — fresh markings rejected
+    /// by `max_states`, or probes that run into an empty slot — cost
+    /// O(probe) instead of O(width), and insertions write the arena without
+    /// an intermediate copy.  The parallel engine lives on this: near a
+    /// state budget almost every candidate is a doomed fresh marking, and
+    /// accepted ones are reconstructed from (parent row, firing delta)
+    /// straight into the arena.
+    template <typename Equals, typename Fill>
+    std::pair<state_id, bool> intern_with(std::uint64_t hash, std::size_t max_states,
+                                          Equals&& equals, Fill&& fill)
+    {
+        std::size_t slot = hash & table_mask_;
+        for (;; slot = (slot + 1) & table_mask_) {
+            const state_id id = table_[slot];
+            if (id == invalid_state) {
+                break;
+            }
+            if (hashes_[id] == hash && equals(tokens(id).data())) {
+                return {id, false};
+            }
+        }
+        if (size() >= max_states) {
+            return {invalid_state, false};
+        }
+        const state_id id = static_cast<state_id>(size());
+        if (id % states_per_chunk_ == 0) {
+            chunks_.emplace_back(new std::int64_t[states_per_chunk_ * width_]);
+        }
+        fill(bulk_tokens(id));
+        hashes_.push_back(hash);
+        table_[slot] = id;
+        // Keep the load factor below ~0.7 (power-of-two capacity, linear
+        // probes).
+        if (size() * 10 >= (table_mask_ + 1) * 7) {
+            rebuild_table((table_mask_ + 1) * 2);
+        }
+        return {id, true};
+    }
 
     /// Looks `tokens` up without inserting; invalid_state when absent.
     [[nodiscard]] state_id find(const std::int64_t* tokens,
@@ -59,7 +113,7 @@ public:
     /// The interned token span of `id`.  Stable across later interns.
     [[nodiscard]] std::span<const std::int64_t> tokens(state_id id) const noexcept
     {
-        return {chunks_[id / states_per_chunk_].data() +
+        return {chunks_[id / states_per_chunk_].get() +
                     static_cast<std::size_t>(id % states_per_chunk_) * width_,
                 width_};
     }
@@ -70,18 +124,55 @@ public:
         return hashes_[id];
     }
 
+    // -- Bulk building (the parallel engine's merge step) -------------------
+    //
+    // The sharded explorer dedups markings in per-shard stores and already
+    // knows the final result is `count` pairwise-distinct markings; copying
+    // them through intern() would redo one hash probe and one memcmp per
+    // state on one thread.  start_bulk_build() pre-sizes the arena so
+    // disjoint ids can be filled concurrently through bulk_tokens() /
+    // set_bulk_hash(); finish_bulk_build() then rebuilds the dedup table
+    // from the hashes alone.  No lookup or intern is valid in between.
+
+    /// Pre-sizes an empty store to exactly `count` markings with
+    /// unspecified contents.  Every id in [0, count) must be filled before
+    /// finish_bulk_build(); distinct ids may be filled from different
+    /// threads.
+    void start_bulk_build(std::size_t count);
+
+    /// Extends a bulk build to `count` markings (count >= size()): the new
+    /// slots [size(), count) behave like start_bulk_build slots.  Must be
+    /// called from one thread, with no concurrent reader or writer; already
+    /// filled token rows stay valid (the arena never moves), so barrier-
+    /// separated phases can keep reading them.
+    void grow_bulk_build(std::size_t count);
+
+    /// Writable token slot of `id` during a bulk build (length width()).
+    [[nodiscard]] std::int64_t* bulk_tokens(state_id id) noexcept
+    {
+        return chunks_[id / states_per_chunk_].get() +
+               static_cast<std::size_t>(id % states_per_chunk_) * width_;
+    }
+
+    /// Records the precomputed hash of `id` during a bulk build.
+    void set_bulk_hash(state_id id, std::uint64_t hash) noexcept { hashes_[id] = hash; }
+
+    /// Rebuilds the open-addressing table from the bulk-filled hashes.
+    /// Entries are trusted to be pairwise distinct (no equality checks).
+    void finish_bulk_build();
+
     /// Approximate arena + table footprint, for telemetry and benches.
     [[nodiscard]] std::size_t memory_bytes() const noexcept;
 
 private:
     [[nodiscard]] bool equal_at(state_id id, const std::int64_t* tokens) const noexcept;
-    void grow_table();
+    void rebuild_table(std::size_t capacity);
 
     std::size_t width_;
     std::size_t states_per_chunk_;
     /// Bump arena: fixed-capacity chunks of states_per_chunk_ * width_
-    /// counts; chunk vectors are reserved up front so spans never move.
-    std::vector<std::vector<std::int64_t>> chunks_;
+    /// counts, allocated whole so spans never move.
+    std::vector<std::unique_ptr<std::int64_t[]>> chunks_;
     /// Per-state precomputed hashes, indexed by state_id.
     std::vector<std::uint64_t> hashes_;
     /// Open-addressing table of state ids (invalid_state = empty slot);

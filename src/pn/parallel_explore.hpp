@@ -1,0 +1,46 @@
+// fcqss — pn/parallel_explore.hpp
+// Sharded parallel BFS over the arena-interned state-space engine.  The
+// marking universe is partitioned into hash-prefix shards, each owning a
+// private marking_store (arena + open-addressing table) that only one
+// worker thread ever mutates; successors that hash to another shard travel
+// through per-(chunk, shard) handoff outboxes between barriers, so the hot
+// paths need no locks at all.  Exploration is level-synchronous, and ids
+// are (re)assigned after every level in sequential discovery order, which
+// makes the result *bit-identical* to explore_state_space() — same state
+// ids, same CSR edge layout, same truncation behaviour — for every thread
+// and shard count.  See the "Determinism" note in parallel_explore.cpp.
+#ifndef FCQSS_PN_PARALLEL_EXPLORE_HPP
+#define FCQSS_PN_PARALLEL_EXPLORE_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+#include "pn/petri_net.hpp"
+#include "pn/state_space.hpp"
+
+namespace fcqss::pn {
+
+struct parallel_explore_options {
+    /// Worker threads; 0 picks the hardware concurrency.  1 still runs the
+    /// sharded engine on a single worker (the differential tests rely on
+    /// exercising the same code path at every thread count).
+    std::size_t threads = 0;
+    /// Hash-prefix shard count; rounded up to a power of two.  0 derives
+    /// one from the resolved thread count (2x threads, so work stays
+    /// balanced when one shard's frontier slice runs hot).
+    std::size_t shards = 0;
+    /// Budgets, mirroring state_space_options.
+    std::size_t max_states = 100000;
+    std::int64_t max_tokens_per_place = 1 << 20;
+};
+
+/// Breadth-first exploration from the net's initial marking on the sharded
+/// parallel engine.  Returns the same states, ids, edges and truncation
+/// verdict as explore_state_space() regardless of options.threads /
+/// options.shards.
+[[nodiscard]] state_space explore_parallel(const petri_net& net,
+                                           const parallel_explore_options& options = {});
+
+} // namespace fcqss::pn
+
+#endif // FCQSS_PN_PARALLEL_EXPLORE_HPP

@@ -32,39 +32,42 @@ verdict check_safe(const petri_net& net)
 
 verdict check_deadlock_free(const petri_net& net, const reachability_options& options)
 {
-    const reachability_graph graph = explore(net, options);
-    if (find_deadlock(net, graph).has_value()) {
+    // Served straight off the compact state space: no marking-object graph
+    // is ever materialized.
+    const state_space space = explore_space(net, options);
+    if (find_deadlock(net, space).has_value()) {
         return verdict::no;
     }
-    return graph.truncated ? verdict::unknown : verdict::yes;
+    return space.truncated() ? verdict::unknown : verdict::yes;
 }
 
 verdict check_live(const petri_net& net, const reachability_options& options)
 {
-    const reachability_graph graph = explore(net, options);
-    if (graph.truncated) {
+    const state_space space = explore_space(net, options);
+    if (space.truncated()) {
         return verdict::unknown;
     }
-    if (graph.nodes.empty() || net.transition_count() == 0) {
+    const std::size_t states = space.state_count();
+    if (states == 0 || net.transition_count() == 0) {
         return verdict::no;
     }
 
     // Liveness on a finite reachability graph: t is live iff every marking
     // can reach a marking that enables t.  Equivalently, in the condensation
     // of the state graph every *bottom* SCC must contain an edge labelled t.
-    graph::digraph state_graph(graph.size());
-    for (std::size_t v = 0; v < graph.size(); ++v) {
-        for (const auto& [t, w] : graph.nodes[v].successors) {
-            state_graph.add_edge(v, w);
+    graph::digraph state_graph(states);
+    for (state_id v = 0; v < static_cast<state_id>(states); ++v) {
+        for (const state_space_edge& edge : space.successors(v)) {
+            state_graph.add_edge(v, edge.to);
         }
     }
     const graph::scc_result sccs = graph::strongly_connected_components(state_graph);
 
     // A bottom SCC has no edge leaving it.
     std::vector<bool> is_bottom(sccs.component_count(), true);
-    for (std::size_t v = 0; v < graph.size(); ++v) {
-        for (const auto& [t, w] : graph.nodes[v].successors) {
-            if (sccs.component[v] != sccs.component[w]) {
+    for (state_id v = 0; v < static_cast<state_id>(states); ++v) {
+        for (const state_space_edge& edge : space.successors(v)) {
+            if (sccs.component[v] != sccs.component[edge.to]) {
                 is_bottom[sccs.component[v]] = false;
             }
         }
@@ -76,9 +79,10 @@ verdict check_live(const petri_net& net, const reachability_options& options)
         }
         std::vector<bool> fires_in_scc(net.transition_count(), false);
         for (std::size_t v : sccs.members[c]) {
-            for (const auto& [t, w] : graph.nodes[v].successors) {
-                if (sccs.component[w] == c) {
-                    fires_in_scc[t.index()] = true;
+            for (const state_space_edge& edge :
+                 space.successors(static_cast<state_id>(v))) {
+                if (sccs.component[edge.to] == c) {
+                    fires_in_scc[edge.via.index()] = true;
                 }
             }
         }

@@ -3,15 +3,27 @@
 #include <deque>
 
 #include "base/error.hpp"
+#include "pn/parallel_explore.hpp"
 #include "pn/state_space.hpp"
 
 namespace fcqss::pn {
 
+state_space explore_space(const petri_net& net, const reachability_options& options)
+{
+    if (options.threads == 1) {
+        return explore_state_space(
+            net, {.max_states = options.max_markings,
+                  .max_tokens_per_place = options.max_tokens_per_place});
+    }
+    return explore_parallel(net,
+                            {.threads = options.threads,
+                             .max_states = options.max_markings,
+                             .max_tokens_per_place = options.max_tokens_per_place});
+}
+
 reachability_graph explore(const petri_net& net, const reachability_options& options)
 {
-    const state_space space = explore_state_space(
-        net, {.max_states = options.max_markings,
-              .max_tokens_per_place = options.max_tokens_per_place});
+    const state_space space = explore_space(net, options);
 
     reachability_graph graph;
     graph.truncated = space.truncated();
@@ -147,6 +159,97 @@ std::vector<std::int64_t> place_bounds(const reachability_graph& graph)
     std::vector<std::int64_t> bounds(graph.nodes.front().state.size(), 0);
     for (const reachability_node& node : graph.nodes) {
         const auto& tokens = node.state.vector();
+        for (std::size_t i = 0; i < tokens.size(); ++i) {
+            if (tokens[i] > bounds[i]) {
+                bounds[i] = tokens[i];
+            }
+        }
+    }
+    return bounds;
+}
+
+std::optional<state_id> find_deadlock(const petri_net& net, const state_space& space)
+{
+    for (state_id s = 0; s < static_cast<state_id>(space.state_count()); ++s) {
+        if (!space.successors(s).empty()) {
+            continue;
+        }
+        // No recorded edges: dead unless an enabled successor was dropped by
+        // a budget (over-cap or max_states), so re-check the span.
+        bool dead = true;
+        for (transition_id t : net.transitions()) {
+            if (detail::enabled_in(net, space.tokens(s).data(), t)) {
+                dead = false;
+                break;
+            }
+        }
+        if (dead) {
+            return s;
+        }
+    }
+    return std::nullopt;
+}
+
+bool is_reachable(const state_space& space, const marking& target)
+{
+    const std::vector<std::int64_t>& tokens = target.vector();
+    if (tokens.size() != space.store().width()) {
+        return false;
+    }
+    return space.store().find(tokens.data(), marking_store::hash_tokens(
+                                                 tokens.data(), tokens.size())) !=
+           invalid_state;
+}
+
+std::optional<firing_sequence> shortest_path_to(const petri_net& net,
+                                                const state_space& space,
+                                                const marking& target)
+{
+    static_cast<void>(net);
+    const std::vector<std::int64_t>& tokens = target.vector();
+    if (space.state_count() == 0 || tokens.size() != space.store().width()) {
+        return std::nullopt;
+    }
+    const state_id goal = space.store().find(
+        tokens.data(), marking_store::hash_tokens(tokens.data(), tokens.size()));
+    if (goal == invalid_state) {
+        return std::nullopt;
+    }
+    if (goal == 0) {
+        return firing_sequence{};
+    }
+    // BFS over the CSR edge list, recording the incoming edge.
+    std::vector<state_id> parent(space.state_count(), invalid_state);
+    std::vector<transition_id> via(space.state_count());
+    std::deque<state_id> frontier{0};
+    parent[0] = 0;
+    while (!frontier.empty()) {
+        const state_id v = frontier.front();
+        frontier.pop_front();
+        for (const state_space_edge& edge : space.successors(v)) {
+            if (parent[edge.to] != invalid_state) {
+                continue;
+            }
+            parent[edge.to] = v;
+            via[edge.to] = edge.via;
+            if (edge.to == goal) {
+                firing_sequence path;
+                for (state_id at = goal; at != 0; at = parent[at]) {
+                    path.push_back(via[at]);
+                }
+                return firing_sequence(path.rbegin(), path.rend());
+            }
+            frontier.push_back(edge.to);
+        }
+    }
+    return std::nullopt;
+}
+
+std::vector<std::int64_t> place_bounds(const state_space& space)
+{
+    std::vector<std::int64_t> bounds(space.store().width(), 0);
+    for (state_id s = 0; s < static_cast<state_id>(space.state_count()); ++s) {
+        const std::span<const std::int64_t> tokens = space.tokens(s);
         for (std::size_t i = 0; i < tokens.size(); ++i) {
             if (tokens[i] > bounds[i]) {
                 bounds[i] = tokens[i];

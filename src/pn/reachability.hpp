@@ -13,6 +13,7 @@
 #include "pn/firing.hpp"
 #include "pn/marking.hpp"
 #include "pn/petri_net.hpp"
+#include "pn/state_space.hpp"
 
 namespace fcqss::pn {
 
@@ -22,6 +23,10 @@ namespace fcqss::pn {
 struct reachability_options {
     std::size_t max_markings = 100000;
     std::int64_t max_tokens_per_place = 1 << 20;
+    /// Worker threads for exploration: 1 runs the sequential engine, any
+    /// other value the sharded parallel engine (0 = hardware concurrency).
+    /// Results are bit-identical either way.
+    std::size_t threads = 1;
 };
 
 /// One explored marking and its outgoing firings.
@@ -43,10 +48,19 @@ struct reachability_graph {
 };
 
 /// Breadth-first exploration from the net's initial marking.  Runs on the
-/// arena-interned state-space engine (pn/state_space.hpp); the graph is
-/// materialized from the engine's compact representation at the end.
+/// arena-interned state-space engine (pn/state_space.hpp) — sequential or
+/// sharded parallel per options.threads; the graph is materialized from the
+/// engine's compact representation at the end.
 [[nodiscard]] reachability_graph explore(const petri_net& net,
                                          const reachability_options& options = {});
+
+/// The engine exploration behind explore(): dispatches on options.threads
+/// between explore_state_space() and explore_parallel() and returns the
+/// compact form directly.  Prefer this + the span-served queries below over
+/// explore() when the marking-object graph is not needed — it avoids the
+/// O(states x places) materialization copy entirely.
+[[nodiscard]] state_space explore_space(const petri_net& net,
+                                        const reachability_options& options = {});
 
 /// The pre-engine exploration: a naive BFS deduplicating through an
 /// unordered_map of marking objects.  Visits exactly the same states and
@@ -71,6 +85,32 @@ shortest_path_to(const petri_net& net, const reachability_graph& graph,
 
 /// Max token count per place over the explored region (bounds witness).
 [[nodiscard]] std::vector<std::int64_t> place_bounds(const reachability_graph& graph);
+
+// -- Span-served queries ----------------------------------------------------
+//
+// The overloads below answer the same questions straight from the compact
+// state_space: tokens are read as arena spans and lookups go through the
+// store's hash table, so nothing is ever materialized into marking objects.
+// Each is observationally identical to its reachability_graph counterpart
+// (pinned by tests/test_parallel_explore.cpp).
+
+/// First deadlocked state in id order, if any (the marking is one
+/// space.marking_of() away).  States with outgoing edges are skipped
+/// outright: an edge means some transition fired there.
+[[nodiscard]] std::optional<state_id> find_deadlock(const petri_net& net,
+                                                    const state_space& space);
+
+/// True when `target` is an explored state (one hash lookup, no scan).
+[[nodiscard]] bool is_reachable(const state_space& space, const marking& target);
+
+/// A shortest firing sequence from the initial marking to `target`, or
+/// nullopt when not present in the explored region.  The target is located
+/// with one hash lookup; the BFS runs over the CSR edge list.
+[[nodiscard]] std::optional<firing_sequence>
+shortest_path_to(const petri_net& net, const state_space& space, const marking& target);
+
+/// Max token count per place over the explored region (bounds witness).
+[[nodiscard]] std::vector<std::int64_t> place_bounds(const state_space& space);
 
 } // namespace fcqss::pn
 

@@ -4,10 +4,9 @@
 
 namespace fcqss::pn {
 
-namespace {
+namespace detail {
 
-bool enabled_in(const petri_net& net, const std::vector<std::int64_t>& tokens,
-                transition_id t)
+bool enabled_in(const petri_net& net, const std::int64_t* tokens, transition_id t)
 {
     for (const place_weight& in : net.inputs(t)) {
         if (tokens[in.place.index()] < in.weight) {
@@ -17,24 +16,8 @@ bool enabled_in(const petri_net& net, const std::vector<std::int64_t>& tokens,
     return true;
 }
 
-} // namespace
-
-marking state_space::marking_of(state_id s) const
+std::vector<std::vector<transition_id>> affected_transitions(const petri_net& net)
 {
-    const std::span<const std::int64_t> span = store_.tokens(s);
-    return marking(std::vector<std::int64_t>(span.begin(), span.end()));
-}
-
-state_space explore_state_space(const petri_net& net, const state_space_options& options)
-{
-    const std::size_t width = net.place_count();
-    const std::int64_t cap = options.max_tokens_per_place;
-
-    state_space result;
-    result.store_ = marking_store(width);
-
-    // affected[t]: transitions whose enabledness can change when t fires —
-    // the consumers of every place t consumes from or produces into.
     std::vector<std::vector<transition_id>> affected(net.transition_count());
     for (transition_id t : net.transitions()) {
         std::vector<transition_id>& list = affected[t.index()];
@@ -51,6 +34,51 @@ state_space explore_state_space(const petri_net& net, const state_space_options&
         std::sort(list.begin(), list.end());
         list.erase(std::unique(list.begin(), list.end()), list.end());
     }
+    return affected;
+}
+
+void merge_enabled(const petri_net& net,
+                   const std::vector<transition_id>& parent_enabled,
+                   const std::vector<transition_id>& recheck,
+                   const std::int64_t* tokens, std::vector<transition_id>& out)
+{
+    out.clear();
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < parent_enabled.size() || j < recheck.size()) {
+        if (j == recheck.size() ||
+            (i < parent_enabled.size() && parent_enabled[i] < recheck[j])) {
+            out.push_back(parent_enabled[i++]);
+        } else {
+            if (i < parent_enabled.size() && parent_enabled[i] == recheck[j]) {
+                ++i;
+            }
+            const transition_id candidate = recheck[j++];
+            if (enabled_in(net, tokens, candidate)) {
+                out.push_back(candidate);
+            }
+        }
+    }
+}
+
+} // namespace detail
+
+marking state_space::marking_of(state_id s) const
+{
+    const std::span<const std::int64_t> span = store_.tokens(s);
+    return marking(std::vector<std::int64_t>(span.begin(), span.end()));
+}
+
+state_space explore_state_space(const petri_net& net, const state_space_options& options)
+{
+    const std::size_t width = net.place_count();
+    const std::int64_t cap = options.max_tokens_per_place;
+
+    state_space result;
+    result.store_ = marking_store(width);
+
+    const std::vector<std::vector<transition_id>> affected =
+        detail::affected_transitions(net);
 
     const std::vector<std::int64_t>& m0 = net.initial_marking_vector();
     const std::uint64_t root_hash = marking_store::hash_tokens(m0.data(), width);
@@ -73,7 +101,7 @@ state_space explore_state_space(const petri_net& net, const state_space_options&
     // the state is expanded.  The root's is the one full scan.
     std::vector<std::vector<transition_id>> enabled_of(1);
     for (transition_id t : net.transitions()) {
-        if (enabled_in(net, m0, t)) {
+        if (detail::enabled_in(net, m0.data(), t)) {
             enabled_of[0].push_back(t);
         }
     }
@@ -130,24 +158,8 @@ state_space explore_state_space(const petri_net& net, const state_space_options&
                         // Incremental enabled set of the successor: statuses
                         // carry over except for the consumers of touched
                         // places, which are re-checked against scratch.
-                        const std::vector<transition_id>& recheck = affected[t.index()];
-                        merged.clear();
-                        std::size_t i = 0;
-                        std::size_t j = 0;
-                        while (i < enabled.size() || j < recheck.size()) {
-                            if (j == recheck.size() ||
-                                (i < enabled.size() && enabled[i] < recheck[j])) {
-                                merged.push_back(enabled[i++]);
-                            } else {
-                                if (i < enabled.size() && enabled[i] == recheck[j]) {
-                                    ++i;
-                                }
-                                const transition_id candidate = recheck[j++];
-                                if (enabled_in(net, scratch, candidate)) {
-                                    merged.push_back(candidate);
-                                }
-                            }
-                        }
+                        detail::merge_enabled(net, enabled, affected[t.index()],
+                                              scratch.data(), merged);
                         enabled_of.push_back(merged);
                     }
                 }
@@ -178,7 +190,7 @@ void token_game::reset()
 
 bool token_game::enabled(transition_id t) const
 {
-    return enabled_in(*net_, tokens_, t);
+    return detail::enabled_in(*net_, tokens_.data(), t);
 }
 
 bool token_game::try_fire(transition_id t)

@@ -21,11 +21,35 @@
 
 namespace fcqss::pn {
 
+struct parallel_explore_options;
+
 /// Budgets for explicit exploration, mirroring reachability_options.
 struct state_space_options {
     std::size_t max_states = 100000;
     std::int64_t max_tokens_per_place = 1 << 20;
 };
+
+namespace detail {
+
+/// True when `tokens` (length |P|) enables t.
+[[nodiscard]] bool enabled_in(const petri_net& net, const std::int64_t* tokens,
+                              transition_id t);
+
+/// affected[t]: the transitions whose enabledness can change when t fires —
+/// the consumers of every place t consumes from or produces into.  Both
+/// engines drive their incremental enabled-set updates off this table.
+[[nodiscard]] std::vector<std::vector<transition_id>>
+affected_transitions(const petri_net& net);
+
+/// The incremental enabled-set step shared by both engines: the successor's
+/// enabled set is the parent's (`parent_enabled`, ascending) with the
+/// members of `recheck` (ascending) re-tested against the successor tokens.
+/// The result is written to `out` (cleared first), ascending.
+void merge_enabled(const petri_net& net, const std::vector<transition_id>& parent_enabled,
+                   const std::vector<transition_id>& recheck,
+                   const std::int64_t* tokens, std::vector<transition_id>& out);
+
+} // namespace detail
 
 /// One outgoing edge of a state: the transition fired and the successor.
 struct state_space_edge {
@@ -65,6 +89,8 @@ public:
 private:
     friend state_space explore_state_space(const petri_net& net,
                                            const state_space_options& options);
+    friend state_space explore_parallel(const petri_net& net,
+                                        const parallel_explore_options& options);
 
     marking_store store_{0};
     std::vector<state_space_edge> edges_;

@@ -11,8 +11,8 @@
 
 #include "base/error.hpp"
 #include "nets/paper_nets.hpp"
-#include "pipeline/executor.hpp"
-#include "pipeline/job_queue.hpp"
+#include "exec/executor.hpp"
+#include "exec/job_queue.hpp"
 #include "pipeline/net_generator.hpp"
 #include "pipeline/synthesis_pipeline.hpp"
 #include "pn/net_class.hpp"
@@ -20,6 +20,9 @@
 
 namespace fcqss::pipeline {
 namespace {
+
+using exec::executor;
+using exec::job_queue;
 
 TEST(job_queue, push_pop_close)
 {

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json artifacts and report throughput movement.
+
+The bench binaries emit one JSON object per row::
+
+    {"bench": "<heading>", "label": "<row label>", "value": "<text>"}
+
+This tool joins two such files on (bench, label), keeps the rows whose
+values parse as numbers and whose labels look like throughput or speedup
+metrics (states/s, nets/s, speedup, ... — configurable with --metric), and
+prints old vs new with the relative change.  With --fail-below PCT the exit
+status is 1 when any tracked metric regressed by more than PCT percent,
+which makes the script usable both as a local trajectory viewer::
+
+    tools/bench_diff.py /tmp/prev/BENCH_scaling.json BENCH_scaling.json
+
+and as a CI regression tripwire alongside the hard speedup gates::
+
+    tools/bench_diff.py old.json new.json --fail-below 30
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+
+
+def load_rows(path: str) -> dict[tuple[str, str], float]:
+    """(bench, label) -> numeric value, for every parseable row."""
+    rows: dict[tuple[str, str], float] = {}
+    try:
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line.startswith("{"):
+                    continue
+                try:
+                    row = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if not isinstance(row, dict):
+                    continue
+                bench = row.get("bench")
+                label = row.get("label")
+                value = row.get("value")
+                if not isinstance(bench, str) or not isinstance(label, str):
+                    continue
+                try:
+                    rows[(bench, label)] = float(value)
+                except (TypeError, ValueError):
+                    continue
+    except OSError as error:
+        sys.exit(f"bench_diff: cannot read {path}: {error}")
+    return rows
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Diff throughput rows across two BENCH_*.json artifacts."
+    )
+    parser.add_argument("old", help="baseline artifact (e.g. from the previous run)")
+    parser.add_argument("new", help="current artifact")
+    parser.add_argument(
+        "--metric",
+        default=r"(states/s|nets/s|nets/second|/second|speedup|throughput)",
+        help="regex selecting the labels to track (default: throughput-ish rows)",
+    )
+    parser.add_argument(
+        "--fail-below",
+        type=float,
+        metavar="PCT",
+        help="exit 1 when any tracked metric drops by more than PCT percent",
+    )
+    args = parser.parse_args()
+
+    metric = re.compile(args.metric)
+    old_rows = load_rows(args.old)
+    new_rows = load_rows(args.new)
+
+    tracked = sorted(
+        key for key in (old_rows.keys() & new_rows.keys()) if metric.search(key[1])
+    )
+    if not tracked:
+        print("bench_diff: no common tracked metrics between the two artifacts")
+        return 0
+
+    width = max(len(label) for _, label in tracked)
+    regressions: list[tuple[str, float]] = []
+    print(f"{'metric':<{width}} {'old':>14} {'new':>14} {'delta':>9}")
+    for bench, label in tracked:
+        old = old_rows[(bench, label)]
+        new = new_rows[(bench, label)]
+        delta = (new - old) / old * 100.0 if old != 0 else float("inf")
+        print(f"{label:<{width}} {old:>14.2f} {new:>14.2f} {delta:>+8.1f}%")
+        if args.fail_below is not None and delta < -args.fail_below:
+            regressions.append((label, delta))
+
+    new_only = sorted(
+        key for key in (new_rows.keys() - old_rows.keys()) if metric.search(key[1])
+    )
+    for bench, label in new_only:
+        print(f"{label:<{width}} {'-':>14} {new_rows[(bench, label)]:>14.2f}      new")
+
+    if regressions:
+        print()
+        for label, delta in regressions:
+            print(f"REGRESSION: {label} fell {delta:+.1f}% "
+                  f"(threshold -{args.fail_below}%)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
