@@ -11,9 +11,11 @@
 #include "codegen/task_codegen.hpp"
 #include "pipeline/net_generator.hpp"
 #include "pn/builder.hpp"
+#include "pn/coverability.hpp"
 #include "pn/parallel_explore.hpp"
 #include "pn/reachability.hpp"
 #include "pn/state_space.hpp"
+#include "pn/stubborn.hpp"
 #include "qss/scheduler.hpp"
 #include "qss/task_partition.hpp"
 
@@ -56,12 +58,16 @@ pn::petri_net pipeline(int length)
 
 // The first generated net of `family` with at least `min_transitions`
 // transitions, growing the generator knobs until one appears (the growth is
-// random, so single draws can come up short).
-pn::petri_net generated_net(pipeline::net_family family, std::size_t min_transitions)
+// random, so single draws can come up short).  `source_credit` > 0 bounds
+// every source to that many firings (finite state space — the reduction
+// rows need full exploration to mean something).
+pn::petri_net generated_net(pipeline::net_family family, std::size_t min_transitions,
+                            int source_credit = 0)
 {
     pipeline::generator_options options;
     options.family = family;
     options.token_load = 2;
+    options.source_credit = source_credit;
     // Start each family just under the floor (growth is exponential in depth
     // for the branching families, linear for marked graphs) so the nets land
     // near min_transitions instead of far above it.
@@ -151,9 +157,11 @@ void report_state_space_engine()
 
 // Best-of-`runs` wall-clock states/second of the engine itself (compact
 // state space, no graph materialization), at a given thread count.
+// `truncated_out`, when given, reports whether the exploration hit a budget.
 double engine_states_per_second(const pn::petri_net& net,
                                 const pn::reachability_options& options, int runs,
-                                std::size_t& states_out)
+                                std::size_t& states_out,
+                                bool* truncated_out = nullptr)
 {
     double best_seconds = 0.0;
     for (int run = 0; run < runs; ++run) {
@@ -162,6 +170,9 @@ double engine_states_per_second(const pn::petri_net& net,
         const std::chrono::duration<double> elapsed =
             std::chrono::steady_clock::now() - start;
         states_out = space.state_count();
+        if (truncated_out != nullptr) {
+            *truncated_out = space.truncated();
+        }
         benchmark::DoNotOptimize(space);
         if (run == 0 || elapsed.count() < best_seconds) {
             best_seconds = elapsed.count();
@@ -213,10 +224,98 @@ void report_parallel_engine()
     }
 }
 
+// Stubborn-set reduction rows (this PR's tentpole): full vs reduced state
+// counts and reduced-engine throughput on >= 500-transition credit-bounded
+// nets.  CI gates on the choice-heavy "reduction ratio" row staying >= 2x.
+// The ratio is only emitted when the *reduced* run completed: it then reads
+// "the reduction covers the whole space in 1/ratio of the states the full
+// exploration burns before the budget" (a lower bound whenever the full
+// side truncates).  A reduced run that also truncates would make the row a
+// meaningless 1.00, so it is reported as n/a instead — bench_diff tracks
+// the ratio rows, and a degenerate value would read as a real trajectory.
+void report_stubborn_reduction()
+{
+    benchutil::heading("stubborn-set reduction (full vs deadlock-preserving "
+                       "reduced exploration)");
+    std::printf("  %8s %8s %10s %10s %9s %12s\n", "family", "|T|", "full st",
+                "reduced st", "ratio", "red st/s");
+    pn::reachability_options options{.max_markings = 60000,
+                                     .max_tokens_per_place = 1 << 20};
+    for (const pipeline::net_family family :
+         {pipeline::net_family::free_choice, pipeline::net_family::choice_heavy,
+          pipeline::net_family::marked_graph}) {
+        const pn::petri_net net = generated_net(family, 500, 1);
+        std::size_t full_states = 0;
+        std::size_t reduced_states = 0;
+        bool reduced_truncated = false;
+        options.reduction = pn::reduction_kind::none;
+        engine_states_per_second(net, options, 1, full_states);
+        options.reduction = pn::reduction_kind::stubborn;
+        const double reduced_rate = engine_states_per_second(
+            net, options, 3, reduced_states, &reduced_truncated);
+        const double ratio = static_cast<double>(full_states) /
+                             static_cast<double>(std::max<std::size_t>(1,
+                                                                       reduced_states));
+        char ratio_text[32];
+        if (reduced_truncated) {
+            std::snprintf(ratio_text, sizeof ratio_text, "n/a");
+        } else {
+            std::snprintf(ratio_text, sizeof ratio_text, "%.2f", ratio);
+        }
+        std::printf("  %8s %8zu %10zu %10zu %9s %12.0f\n",
+                    pipeline::to_string(family), net.transition_count(), full_states,
+                    reduced_states, ratio_text, reduced_rate);
+        const std::string prefix = std::string(pipeline::to_string(family)) + " ";
+        benchutil::row(prefix + "full states", std::to_string(full_states));
+        benchutil::row(prefix + "reduced states", std::to_string(reduced_states));
+        if (!reduced_truncated) {
+            benchutil::row(prefix + "reduction ratio", ratio_text);
+        }
+        benchutil::row(prefix + "reduced states/s",
+                       std::to_string(static_cast<long long>(reduced_rate)));
+    }
+}
+
+// Karp–Miller timing row: build_coverability_tree now reuses the engines'
+// incremental enabled-set index instead of rescanning all of T per node
+// (tracked by bench_diff as "km nodes/s").
+void report_coverability()
+{
+    benchutil::heading("coverability (Karp–Miller) nodes/second");
+    std::printf("  %8s %8s %8s %12s\n", "family", "|T|", "nodes", "nodes/s");
+    for (const pipeline::net_family family :
+         {pipeline::net_family::free_choice, pipeline::net_family::marked_graph}) {
+        const pn::petri_net net = generated_net(family, 500);
+        const pn::coverability_options options{.max_nodes = 20000};
+        double best_seconds = 0.0;
+        std::size_t nodes = 0;
+        for (int run = 0; run < 3; ++run) {
+            const auto start = std::chrono::steady_clock::now();
+            const pn::coverability_tree tree = pn::build_coverability_tree(net, options);
+            const std::chrono::duration<double> elapsed =
+                std::chrono::steady_clock::now() - start;
+            nodes = tree.size();
+            benchmark::DoNotOptimize(tree);
+            if (run == 0 || elapsed.count() < best_seconds) {
+                best_seconds = elapsed.count();
+            }
+        }
+        const double rate = static_cast<double>(nodes) / best_seconds;
+        std::printf("  %8s %8zu %8zu %12.0f\n", pipeline::to_string(family),
+                    net.transition_count(), nodes, rate);
+        const std::string prefix = std::string(pipeline::to_string(family)) + " ";
+        benchutil::row(prefix + "km nodes", std::to_string(nodes));
+        benchutil::row(prefix + "km nodes/s",
+                       std::to_string(static_cast<long long>(rate)));
+    }
+}
+
 void report()
 {
     report_state_space_engine();
     report_parallel_engine();
+    report_stubborn_reduction();
+    report_coverability();
 
     benchutil::heading("T-reduction count vs number of choices (exponential)");
     std::printf("  %8s %12s %12s\n", "choices", "allocations", "reductions");
@@ -279,6 +378,19 @@ void bm_explore_parallel(benchmark::State& state)
     }
 }
 BENCHMARK(bm_explore_parallel)->Arg(1)->Arg(2)->Arg(4);
+
+void bm_explore_stubborn(benchmark::State& state)
+{
+    const auto net = generated_net(pipeline::net_family::choice_heavy, 500, 2);
+    const pn::state_space_options options{
+        .max_states = static_cast<std::size_t>(state.range(0)),
+        .max_tokens_per_place = 1 << 20,
+        .reduction = pn::reduction_kind::stubborn};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(pn::explore_state_space(net, options));
+    }
+}
+BENCHMARK(bm_explore_stubborn)->Arg(20000);
 
 void bm_qss_vs_choices(benchmark::State& state)
 {

@@ -6,16 +6,24 @@
 //   pn_tool codegen  model.pn      emit the synthesized C to stdout
 //   pn_tool dot      model.pn      emit graphviz
 //   pn_tool explore  [--threads N] [--max-states S] [--max-tokens K]
+//                    [--reduce stubborn|none]
 //                    model.pn      explicit state-space exploration on the
 //                                  engine (N != 1 runs the sharded parallel
-//                                  engine; results are identical)
+//                                  engine; results are identical).  --reduce
+//                                  stubborn expands a deadlock-preserving
+//                                  stubborn subset per state: deadlock
+//                                  verdicts are exact, state counts shrink,
+//                                  but the reachability set is partial
 //   pn_tool batch    [--jobs N] [--max-allocations A] [--no-codegen]
 //                    [--verbose] model.pn...
 //                                  run the full flow over many nets in
 //                                  parallel and print a batch report
 //   pn_tool generate [--seed S] [--count N] [--family fc|mg|choice]
 //                    [--sources K] [--depth D] [--tokens L] [--defects P]
+//                    [--credit C]
 //                    --out DIR     write random workload nets as .pn files
+//                                  (--credit C bounds each source to C
+//                                  firings via a seeded credit place)
 //
 // Example model files can be produced with pnio::save_net, written by hand
 // (see the grammar in src/pnio/lexer.hpp), or generated with `generate`.
@@ -121,13 +129,14 @@ int usage()
     std::fprintf(stderr,
                  "usage: pn_tool {analyze|schedule|report|codegen|dot} model.pn\n"
                  "       pn_tool explore [--threads N] [--max-states S]\n"
-                 "                       [--max-tokens K] model.pn\n"
+                 "                       [--max-tokens K] [--reduce stubborn|none]\n"
+                 "                       model.pn\n"
                  "       pn_tool batch [--jobs N] [--max-allocations A] [--no-codegen]\n"
                  "                     [--verbose] model.pn...\n"
                  "       pn_tool generate [--seed S] [--count N] "
                  "[--family fc|mg|choice]\n"
                  "                        [--sources K] [--depth D] [--tokens L]\n"
-                 "                        [--defects P] --out DIR\n");
+                 "                        [--defects P] [--credit C] --out DIR\n");
     return 2;
 }
 
@@ -164,6 +173,17 @@ int explore(int argc, char** argv)
             options.max_markings = value > 0 ? static_cast<std::size_t>(value) : 1;
         } else if (int_option(argc, argv, i, "--max-tokens", value)) {
             options.max_tokens_per_place = value > 0 ? value : 1;
+        } else if (std::strcmp(argv[i], "--reduce") == 0 && i + 1 < argc) {
+            const std::string kind = argv[++i];
+            if (kind == "stubborn") {
+                options.reduction = pn::reduction_kind::stubborn;
+            } else if (kind == "none") {
+                options.reduction = pn::reduction_kind::none;
+            } else {
+                std::fprintf(stderr, "unknown reduction '%s' (stubborn|none)\n",
+                             kind.c_str());
+                return 2;
+            }
         } else if (argv[i][0] == '-') {
             std::fprintf(stderr, "unknown explore option '%s'\n", argv[i]);
             return 2;
@@ -180,9 +200,11 @@ int explore(int argc, char** argv)
     }
 
     const pn::petri_net net = pnio::load_net(path);
+    const bool reduced = options.reduction == pn::reduction_kind::stubborn;
     const pn::state_space space = pn::explore_space(net, options);
-    std::printf("net '%s': explored %zu states, %zu edges%s\n", net.name().c_str(),
+    std::printf("net '%s': explored %zu states, %zu edges%s%s\n", net.name().c_str(),
                 space.state_count(), space.edge_count(),
+                reduced ? " (stubborn reduction: deadlock-preserving fragment)" : "",
                 space.truncated() ? " (truncated by budget)" : "");
     std::printf("  store: %.2f MiB arena+table\n",
                 static_cast<double>(space.store().memory_bytes()) / (1024.0 * 1024.0));
@@ -203,8 +225,9 @@ int explore(int argc, char** argv)
     for (const std::int64_t b : bounds) {
         max_bound = std::max(max_bound, b);
     }
-    std::printf("  max tokens in any place: %lld\n",
-                static_cast<long long>(max_bound));
+    std::printf("  max tokens in any place: %lld%s\n",
+                static_cast<long long>(max_bound),
+                reduced ? " (over the reduced fragment only)" : "");
     return 0;
 }
 
@@ -283,6 +306,8 @@ int generate(int argc, char** argv)
             options.token_load = static_cast<int>(value);
         } else if (int_option(argc, argv, i, "--defects", value)) {
             options.defect_percent = static_cast<int>(value);
+        } else if (int_option(argc, argv, i, "--credit", value)) {
+            options.source_credit = static_cast<int>(value);
         } else if (std::strcmp(argv[i], "--family") == 0 && i + 1 < argc) {
             const std::string family = argv[++i];
             if (family == "mg") {

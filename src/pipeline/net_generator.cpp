@@ -72,17 +72,26 @@ public:
         if (!choice.valid()) {
             // Families without choices (marked graphs): manufacture one.
             const auto src = builder_.add_transition(fresh("t_defect_src"));
+            extra_sources_.push_back(src);
             choice = builder_.add_place(fresh("c_defect"));
             builder_.add_arc(src, choice);
             const auto alt = builder_.add_transition(fresh("t_defect_alt"));
             builder_.add_arc(choice, alt);
         }
         const auto env = builder_.add_transition(fresh("t_defect_env"));
+        extra_sources_.push_back(env);
         const auto gate = builder_.add_place(fresh("p_defect_gate"));
         builder_.add_arc(env, gate);
         const auto join = builder_.add_transition(fresh("t_defect_join"));
         builder_.add_arc(gate, join);
         builder_.add_arc(choice, join);
+    }
+
+    /// Source transitions created outside the main source loop (by defect
+    /// injection), so source_credit can bound them too.
+    [[nodiscard]] const std::vector<pn::transition_id>& extra_sources() const noexcept
+    {
+        return extra_sources_;
     }
 
 private:
@@ -152,6 +161,7 @@ private:
     int fork_percent_ = 0;
     int serial_ = 0;
     pn::place_id first_choice_;
+    std::vector<pn::transition_id> extra_sources_;
 };
 
 } // namespace
@@ -168,6 +178,9 @@ net_generator::net_generator(std::uint64_t seed, generator_options options)
         options_.defect_percent < 0 || options_.defect_percent > 100) {
         throw model_error("net_generator: percentages must be in [0, 100]");
     }
+    if (options_.source_credit < 0) {
+        throw model_error("net_generator: source_credit must be >= 0");
+    }
 }
 
 pn::petri_net net_generator::next()
@@ -177,13 +190,29 @@ pn::petri_net net_generator::next()
                              std::to_string(seed_) + "_n" + std::to_string(generated_);
     pn::net_builder builder(name);
     grower g(builder, rng, options_);
+    std::vector<pn::transition_id> sources;
+    sources.reserve(static_cast<std::size_t>(options_.sources));
     for (int s = 0; s < options_.sources; ++s) {
         const auto source = builder.add_transition("src" + std::to_string(s));
+        sources.push_back(source);
         g.grow(source, options_.depth);
     }
     if (options_.defect_percent > 0 &&
         rng.below(100) < static_cast<std::uint64_t>(options_.defect_percent)) {
         g.inject_defect();
+    }
+    if (options_.source_credit > 0) {
+        // Credit places go in after the structure is grown (no extra PRNG
+        // draws), so the same seed yields the same net modulo the credits.
+        // Defect-injected sources are included: one uncredited source would
+        // keep the whole net unbounded.
+        sources.insert(sources.end(), g.extra_sources().begin(),
+                       g.extra_sources().end());
+        for (std::size_t s = 0; s < sources.size(); ++s) {
+            const auto credit = builder.add_place("credit" + std::to_string(s),
+                                                  options_.source_credit);
+            builder.add_arc(credit, sources[s]);
+        }
     }
     state_ = rng.state() ^ (0x9e3779b97f4a7c15ULL + generated_);
     if (state_ == 0) {

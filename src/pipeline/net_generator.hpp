@@ -55,6 +55,14 @@ struct generator_options {
     /// Percent of generated nets given a deliberate free-choice violation,
     /// so a batch contains nets every pipeline stage must reject cleanly.
     int defect_percent = 0;
+    /// When > 0, every source transition consumes from a private credit
+    /// place seeded with this many tokens, so it fires at most that often.
+    /// Without credit the families are unbounded (sources fire freely) and
+    /// full exploration never terminates; with it the state space is finite
+    /// and genuinely deadlocks once the credit drains — the workload the
+    /// stubborn-reduction differentials and benches need.  0 (the default)
+    /// keeps the classic unbounded sources, byte-identical to before.
+    int source_credit = 0;
 };
 
 /// Deterministic stream of random nets.  next() advances the stream; two

@@ -1,10 +1,12 @@
 #include "pn/coverability.hpp"
 
+#include <algorithm>
 #include <deque>
 
 #include "base/error.hpp"
 #include "linalg/checked.hpp"
 #include "pn/marking_store.hpp"
+#include "pn/state_space.hpp"
 
 namespace fcqss::pn {
 
@@ -98,19 +100,36 @@ coverability_tree build_coverability_tree(const petri_net& net,
     flatten(tree.nodes.front().state, flat);
     expanded.intern(flat.data(), marking_store::hash_tokens(flat.data(), flat.size()));
 
+    // Incremental enabled sets, exactly like the exploration engines: on
+    // flattened counts (omega = its sentinel, which exceeds every arc
+    // weight) detail::enabled_in coincides with omega_enabled, so a child's
+    // enabled set is its parent's with only affected[t] re-checked — plus
+    // the consumers of any place the acceleration pumped to omega, since
+    // pumping can enable transitions t never touched.  The root's set is
+    // the one full scan over T.
+    const std::vector<std::vector<transition_id>> affected =
+        detail::affected_transitions(net);
+    std::vector<std::vector<transition_id>> enabled_of(1);
+    for (transition_id t : net.transitions()) {
+        if (omega_enabled(net, tree.nodes.front().state, t)) {
+            enabled_of[0].push_back(t);
+        }
+    }
+
+    std::vector<std::size_t> pumped;
+    std::vector<transition_id> recheck;
     std::deque<std::size_t> frontier{0};
     while (!frontier.empty()) {
         const std::size_t node_index = frontier.front();
         frontier.pop_front();
+        const std::vector<transition_id> enabled = std::move(enabled_of[node_index]);
 
-        for (transition_id t : net.transitions()) {
-            if (!omega_enabled(net, tree.nodes[node_index].state, t)) {
-                continue;
-            }
+        for (transition_id t : enabled) {
             omega_marking next = omega_fire(net, tree.nodes[node_index].state, t);
 
             // Acceleration: any strictly-dominated ancestor pumps its strictly
             // smaller components to omega.
+            pumped.clear();
             std::size_t at = node_index;
             while (true) {
                 const omega_marking& ancestor = tree.nodes[at].state;
@@ -120,6 +139,9 @@ coverability_tree build_coverability_tree(const petri_net& net,
                             !ancestor[i].is_omega() &&
                             (next[i].is_omega() || next[i].value > ancestor[i].value);
                         if (strictly_greater) {
+                            if (!next[i].is_omega()) {
+                                pumped.push_back(i);
+                            }
                             next[i].value = omega_count::omega_value;
                         }
                     }
@@ -145,6 +167,21 @@ coverability_tree build_coverability_tree(const petri_net& net,
             tree.nodes[node_index].children.emplace_back(t, child_index);
             if (fresh) {
                 frontier.push_back(child_index);
+                recheck.assign(affected[t.index()].begin(), affected[t.index()].end());
+                for (const std::size_t place : pumped) {
+                    for (const transition_weight& c :
+                         net.consumers(place_id{static_cast<std::int32_t>(place)})) {
+                        recheck.push_back(c.transition);
+                    }
+                }
+                if (!pumped.empty()) {
+                    std::sort(recheck.begin(), recheck.end());
+                    recheck.erase(std::unique(recheck.begin(), recheck.end()),
+                                  recheck.end());
+                }
+                enabled_of.resize(tree.nodes.size());
+                detail::merge_enabled(net, enabled, recheck, flat.data(),
+                                      enabled_of[child_index]);
             }
         }
     }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <optional>
 #include <utility>
 
 #include "exec/executor.hpp"
@@ -101,6 +102,10 @@ struct chunk_state {
     std::vector<edge_ref> refs;           ///< per-parent refs, concatenated
     std::vector<std::uint32_t> ref_count; ///< candidates per parent
     bool saw_over_cap = false;
+    /// Stubborn-set scratch; chunks are single-owner per barrier phase, so
+    /// per-chunk scratch keeps phase A lock-free under reduction too.
+    stubborn_workspace stubborn_ws;
+    std::vector<transition_id> reduced;
 };
 
 /// A marking first seen this level, keyed by its discovering edge.
@@ -213,6 +218,16 @@ state_space explore_parallel(const petri_net& net,
         detail::affected_transitions(net);
     const std::vector<delta_list> deltas = firing_deltas(net);
 
+    // Stubborn-set reduction: phase A expands only the deadlock-preserving
+    // subset of each frontier state's enabled set.  The subset depends on
+    // the marking alone (never on thread/shard/chunk assignment), so the
+    // determinism argument below is untouched; full enabled sets are still
+    // maintained in phase E for the incremental updates.
+    std::optional<stubborn_reduction> stubborn;
+    if (options.reduction == reduction_kind::stubborn) {
+        stubborn.emplace(net);
+    }
+
     std::vector<shard_state> shards;
     shards.reserve(shard_count);
     for (std::size_t s = 0; s < shard_count; ++s) {
@@ -303,8 +318,15 @@ state_space explore_parallel(const petri_net& net,
                     result.store_.stored_hash(static_cast<state_id>(p));
                 const bool full_cap_scan = root_over_cap && p == 0;
 
+                const std::vector<transition_id>& enabled =
+                    cur_enabled[p - level_begin];
+                const std::vector<transition_id>* expand = &enabled;
+                if (stubborn) {
+                    stubborn->reduce(row, enabled, chunk.stubborn_ws, chunk.reduced);
+                    expand = &chunk.reduced;
+                }
                 std::uint32_t emitted = 0;
-                for (transition_id t : cur_enabled[p - level_begin]) {
+                for (transition_id t : *expand) {
                     std::uint64_t next_hash = row_hash;
                     bool over_cap = false;
                     const delta_list& delta = deltas[t.index()];

@@ -32,6 +32,12 @@ struct parallel_explore_options {
     /// Budgets, mirroring state_space_options.
     std::size_t max_states = 100000;
     std::int64_t max_tokens_per_place = 1 << 20;
+    /// Per-state partial-order reduction (pn/stubborn.hpp).  The stubborn
+    /// subset is a deterministic function of each marking alone, so the
+    /// bit-identical-at-any-thread-count guarantee holds for reduced
+    /// exploration too: explore_parallel with reduction equals
+    /// explore_state_space with the same reduction.
+    reduction_kind reduction = reduction_kind::none;
 };
 
 /// Breadth-first exploration from the net's initial marking on the sharded

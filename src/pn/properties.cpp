@@ -43,7 +43,12 @@ verdict check_deadlock_free(const petri_net& net, const reachability_options& op
 
 verdict check_live(const petri_net& net, const reachability_options& options)
 {
-    const state_space space = explore_space(net, options);
+    // Liveness quantifies over the *full* reachability graph; a stubborn
+    // reduction only preserves deadlocks, so it is forced off here even
+    // when the caller's options carry one.
+    reachability_options full = options;
+    full.reduction = reduction_kind::none;
+    const state_space space = explore_space(net, full);
     if (space.truncated()) {
         return verdict::unknown;
     }

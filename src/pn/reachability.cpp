@@ -13,12 +13,14 @@ state_space explore_space(const petri_net& net, const reachability_options& opti
     if (options.threads == 1) {
         return explore_state_space(
             net, {.max_states = options.max_markings,
-                  .max_tokens_per_place = options.max_tokens_per_place});
+                  .max_tokens_per_place = options.max_tokens_per_place,
+                  .reduction = options.reduction});
     }
     return explore_parallel(net,
                             {.threads = options.threads,
                              .max_states = options.max_markings,
-                             .max_tokens_per_place = options.max_tokens_per_place});
+                             .max_tokens_per_place = options.max_tokens_per_place,
+                             .reduction = options.reduction});
 }
 
 reachability_graph explore(const petri_net& net, const reachability_options& options)
@@ -168,26 +170,46 @@ std::vector<std::int64_t> place_bounds(const reachability_graph& graph)
     return bounds;
 }
 
+namespace {
+
+/// True when s has no recorded edges and genuinely enables nothing.  Zero
+/// recorded edges alone is inconclusive: a budget (over-cap, max_states) or
+/// a stubborn reduction whose successors were all dropped can leave a live
+/// state edgeless, so the span is re-checked against every transition.
+bool is_dead_state(const petri_net& net, const state_space& space, state_id s)
+{
+    if (!space.successors(s).empty()) {
+        return false;
+    }
+    for (transition_id t : net.transitions()) {
+        if (detail::enabled_in(net, space.tokens(s).data(), t)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
 std::optional<state_id> find_deadlock(const petri_net& net, const state_space& space)
 {
     for (state_id s = 0; s < static_cast<state_id>(space.state_count()); ++s) {
-        if (!space.successors(s).empty()) {
-            continue;
-        }
-        // No recorded edges: dead unless an enabled successor was dropped by
-        // a budget (over-cap or max_states), so re-check the span.
-        bool dead = true;
-        for (transition_id t : net.transitions()) {
-            if (detail::enabled_in(net, space.tokens(s).data(), t)) {
-                dead = false;
-                break;
-            }
-        }
-        if (dead) {
+        if (is_dead_state(net, space, s)) {
             return s;
         }
     }
     return std::nullopt;
+}
+
+std::vector<state_id> deadlock_states(const petri_net& net, const state_space& space)
+{
+    std::vector<state_id> dead;
+    for (state_id s = 0; s < static_cast<state_id>(space.state_count()); ++s) {
+        if (is_dead_state(net, space, s)) {
+            dead.push_back(s);
+        }
+    }
+    return dead;
 }
 
 bool is_reachable(const state_space& space, const marking& target)

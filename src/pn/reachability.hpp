@@ -27,6 +27,12 @@ struct reachability_options {
     /// other value the sharded parallel engine (0 = hardware concurrency).
     /// Results are bit-identical either way.
     std::size_t threads = 1;
+    /// Per-state partial-order reduction (pn/stubborn.hpp).  `stubborn`
+    /// explores a deadlock-preserving fragment: has-deadlock and the set of
+    /// reachable dead markings match the full graph (exactly, when neither
+    /// run is truncated), but the reachability set does not — keep `none`
+    /// for is_reachable / place_bounds / liveness-style queries.
+    reduction_kind reduction = reduction_kind::none;
 };
 
 /// One explored marking and its outgoing firings.
@@ -96,8 +102,17 @@ shortest_path_to(const petri_net& net, const reachability_graph& graph,
 
 /// First deadlocked state in id order, if any (the marking is one
 /// space.marking_of() away).  States with outgoing edges are skipped
-/// outright: an edge means some transition fired there.
+/// outright: an edge means some transition fired there.  Sound on reduced
+/// graphs too: a stubborn subset always contains an enabled transition, so
+/// zero recorded edges still means "dead or budget-dropped", and the
+/// enabled re-check below settles which.
 [[nodiscard]] std::optional<state_id> find_deadlock(const petri_net& net,
+                                                    const state_space& space);
+
+/// Every deadlocked state in the explored region, ascending by id.  On a
+/// non-truncated stubborn-reduced exploration this is exactly the set of
+/// reachable dead markings of the full graph (pn/stubborn.hpp).
+[[nodiscard]] std::vector<state_id> deadlock_states(const petri_net& net,
                                                     const state_space& space);
 
 /// True when `target` is an explored state (one hash lookup, no scan).

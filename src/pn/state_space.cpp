@@ -1,6 +1,7 @@
 #include "pn/state_space.hpp"
 
 #include <algorithm>
+#include <optional>
 
 namespace fcqss::pn {
 
@@ -110,6 +111,17 @@ state_space explore_state_space(const petri_net& net, const state_space_options&
     std::vector<transition_id> merged;
     result.edge_offsets_.push_back(0);
 
+    // Optional stubborn-set reduction: only a deadlock-preserving subset of
+    // each state's enabled set is expanded.  The *full* enabled sets are
+    // still maintained incrementally — successors derive theirs from the
+    // parent's full set, reduced or not.
+    std::optional<stubborn_reduction> stubborn;
+    if (options.reduction == reduction_kind::stubborn) {
+        stubborn.emplace(net);
+    }
+    stubborn_workspace stubborn_ws;
+    std::vector<transition_id> reduced;
+
     // Discovery order is expansion order: states get ascending ids and are
     // expanded in id order, which is exactly the reference BFS.
     for (state_id s = 0; s < static_cast<state_id>(result.store_.size()); ++s) {
@@ -119,7 +131,12 @@ state_space explore_state_space(const petri_net& net, const state_space_options&
         const std::vector<transition_id> enabled = std::move(enabled_of[s]);
         const bool full_cap_scan = root_over_cap && s == 0;
 
-        for (transition_id t : enabled) {
+        const std::vector<transition_id>* expand = &enabled;
+        if (stubborn) {
+            stubborn->reduce(scratch.data(), enabled, stubborn_ws, reduced);
+            expand = &reduced;
+        }
+        for (transition_id t : *expand) {
             // Fire t into scratch, updating the hash per touched place.
             std::uint64_t next_hash = current_hash;
             bool over_cap = false;

@@ -18,6 +18,7 @@
 #include "pn/marking.hpp"
 #include "pn/marking_store.hpp"
 #include "pn/petri_net.hpp"
+#include "pn/stubborn.hpp"
 
 namespace fcqss::pn {
 
@@ -27,6 +28,10 @@ struct parallel_explore_options;
 struct state_space_options {
     std::size_t max_states = 100000;
     std::int64_t max_tokens_per_place = 1 << 20;
+    /// Per-state partial-order reduction (pn/stubborn.hpp).  `stubborn`
+    /// preserves deadlock verdicts and the set of reachable dead markings,
+    /// not the full reachability set.
+    reduction_kind reduction = reduction_kind::none;
 };
 
 namespace detail {

@@ -64,8 +64,12 @@ def main() -> int:
     parser.add_argument("new", help="current artifact")
     parser.add_argument(
         "--metric",
-        default=r"(states/s|nets/s|nets/second|/second|speedup|throughput)",
-        help="regex selecting the labels to track (default: throughput-ish rows)",
+        default=(
+            r"(states/s|nets/s|nodes/s|nets/second|/second|speedup|throughput"
+            r"|reduction ratio)"
+        ),
+        help="regex selecting the labels to track (default: throughput-ish rows, "
+        "plus the stubborn-reduction ratio)",
     )
     parser.add_argument(
         "--fail-below",
