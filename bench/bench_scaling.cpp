@@ -224,21 +224,31 @@ void report_parallel_engine()
     }
 }
 
-// Stubborn-set reduction rows (this PR's tentpole): full vs reduced state
-// counts and reduced-engine throughput on >= 500-transition credit-bounded
-// nets.  CI gates on the choice-heavy "reduction ratio" row staying >= 2x.
-// The ratio is only emitted when the *reduced* run completed: it then reads
-// "the reduction covers the whole space in 1/ratio of the states the full
-// exploration burns before the budget" (a lower bound whenever the full
-// side truncates).  A reduced run that also truncates would make the row a
-// meaningless 1.00, so it is reported as n/a instead — bench_diff tracks
-// the ratio rows, and a degenerate value would read as a real trajectory.
-void report_stubborn_reduction()
+// Row labels of one reduction report block; the label strings are load-
+// bearing — CI gates and tools/bench_diff.py grep them verbatim.
+struct reduction_row_labels {
+    const char* rate_column;  ///< human-readable throughput column header
+    const char* states_label; ///< reduced-state-count row ("<family> " prefixed)
+    const char* ratio_label;  ///< ratio row; emitted only on complete reduced runs
+    const char* rate_label;   ///< reduced-throughput row
+    bool emit_full_states;    ///< emit the "<family> full states" rows too
+};
+
+// Shared body of the two reduction report blocks: full vs reduced state
+// counts and reduced-engine throughput at `strength`, on >= 500-transition
+// credit-bounded nets.  The ratio is only emitted when the *reduced* run
+// completed: it then reads "the reduction covers the whole space in
+// 1/ratio of the states the full exploration burns before the budget" (a
+// lower bound whenever the full side truncates).  A reduced run that also
+// truncates would make the row a meaningless 1.00, so it is reported as
+// n/a instead — bench_diff tracks the ratio rows, and a degenerate value
+// would read as a real trajectory.
+void report_reduction_block(const char* heading, pn::reduction_strength strength,
+                            const reduction_row_labels& labels)
 {
-    benchutil::heading("stubborn-set reduction (full vs deadlock-preserving "
-                       "reduced exploration)");
+    benchutil::heading(heading);
     std::printf("  %8s %8s %10s %10s %9s %12s\n", "family", "|T|", "full st",
-                "reduced st", "ratio", "red st/s");
+                "reduced st", "ratio", labels.rate_column);
     pn::reachability_options options{.max_markings = 60000,
                                      .max_tokens_per_place = 1 << 20};
     for (const pipeline::net_family family :
@@ -251,11 +261,12 @@ void report_stubborn_reduction()
         options.reduction = pn::reduction_kind::none;
         engine_states_per_second(net, options, 1, full_states);
         options.reduction = pn::reduction_kind::stubborn;
+        options.strength = strength;
         const double reduced_rate = engine_states_per_second(
             net, options, 3, reduced_states, &reduced_truncated);
-        const double ratio = static_cast<double>(full_states) /
-                             static_cast<double>(std::max<std::size_t>(1,
-                                                                       reduced_states));
+        const double ratio =
+            static_cast<double>(full_states) /
+            static_cast<double>(std::max<std::size_t>(1, reduced_states));
         char ratio_text[32];
         if (reduced_truncated) {
             std::snprintf(ratio_text, sizeof ratio_text, "n/a");
@@ -266,14 +277,50 @@ void report_stubborn_reduction()
                     pipeline::to_string(family), net.transition_count(), full_states,
                     reduced_states, ratio_text, reduced_rate);
         const std::string prefix = std::string(pipeline::to_string(family)) + " ";
-        benchutil::row(prefix + "full states", std::to_string(full_states));
-        benchutil::row(prefix + "reduced states", std::to_string(reduced_states));
-        if (!reduced_truncated) {
-            benchutil::row(prefix + "reduction ratio", ratio_text);
+        if (labels.emit_full_states) {
+            benchutil::row(prefix + "full states", std::to_string(full_states));
         }
-        benchutil::row(prefix + "reduced states/s",
+        benchutil::row(prefix + labels.states_label, std::to_string(reduced_states));
+        if (!reduced_truncated) {
+            benchutil::row(prefix + labels.ratio_label, ratio_text);
+        }
+        benchutil::row(prefix + labels.rate_label,
                        std::to_string(static_cast<long long>(reduced_rate)));
     }
+}
+
+// Stubborn-set reduction rows (PR 4's tentpole): CI gates on the
+// choice-heavy "reduction ratio" row staying >= 2x.
+void report_stubborn_reduction()
+{
+    report_reduction_block("stubborn-set reduction (full vs deadlock-preserving "
+                           "reduced exploration)",
+                           pn::reduction_strength::deadlock,
+                           {.rate_column = "red st/s",
+                            .states_label = "reduced states",
+                            .ratio_label = "reduction ratio",
+                            .rate_label = "reduced states/s",
+                            .emit_full_states = true});
+}
+
+// ltl_x strength rows (this PR's tentpole): the liveness-preserving
+// reduction — visibility + ignoring fix-up on top of the deadlock-strength
+// sets — against the full exploration, on the same nets.  CI gates on the
+// choice-heavy "ltlx ratio" row staying >= 1.5x: the fix-up may only
+// re-expand states in cycle-capable SCCs, so on these (acyclic-state-graph)
+// workloads it must not give back the deadlock-strength savings.  "live
+// red st/s" is the throughput of the exploration check_live now runs
+// (reduction included), tracked by bench_diff alongside the ratio.
+void report_ltlx_reduction()
+{
+    report_reduction_block("ltl_x stubborn reduction (liveness-preserving "
+                           "fragment vs full exploration)",
+                           pn::reduction_strength::ltl_x,
+                           {.rate_column = "live st/s",
+                            .states_label = "ltlx states",
+                            .ratio_label = "ltlx ratio",
+                            .rate_label = "live red st/s",
+                            .emit_full_states = false});
 }
 
 // Karp–Miller timing row: build_coverability_tree now reuses the engines'
@@ -315,6 +362,7 @@ void report()
     report_state_space_engine();
     report_parallel_engine();
     report_stubborn_reduction();
+    report_ltlx_reduction();
     report_coverability();
 
     benchutil::heading("T-reduction count vs number of choices (exponential)");
@@ -391,6 +439,20 @@ void bm_explore_stubborn(benchmark::State& state)
     }
 }
 BENCHMARK(bm_explore_stubborn)->Arg(20000);
+
+void bm_explore_stubborn_ltlx(benchmark::State& state)
+{
+    const auto net = generated_net(pipeline::net_family::choice_heavy, 500, 2);
+    const pn::state_space_options options{
+        .max_states = static_cast<std::size_t>(state.range(0)),
+        .max_tokens_per_place = 1 << 20,
+        .reduction = pn::reduction_kind::stubborn,
+        .strength = pn::reduction_strength::ltl_x};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(pn::explore_state_space(net, options));
+    }
+}
+BENCHMARK(bm_explore_stubborn_ltlx)->Arg(20000);
 
 void bm_qss_vs_choices(benchmark::State& state)
 {

@@ -6,14 +6,17 @@
 //   pn_tool codegen  model.pn      emit the synthesized C to stdout
 //   pn_tool dot      model.pn      emit graphviz
 //   pn_tool explore  [--threads N] [--max-states S] [--max-tokens K]
-//                    [--reduce stubborn|none]
+//                    [--reduce none|stubborn|stubborn-ltlx]
 //                    model.pn      explicit state-space exploration on the
 //                                  engine (N != 1 runs the sharded parallel
 //                                  engine; results are identical).  --reduce
 //                                  stubborn expands a deadlock-preserving
 //                                  stubborn subset per state: deadlock
 //                                  verdicts are exact, state counts shrink,
-//                                  but the reachability set is partial
+//                                  but the reachability set is partial.
+//                                  stubborn-ltlx adds the visibility and
+//                                  no-ignoring conditions, so liveness and
+//                                  stutter-invariant verdicts stay exact too
 //   pn_tool batch    [--jobs N] [--max-allocations A] [--no-codegen]
 //                    [--verbose] model.pn...
 //                                  run the full flow over many nets in
@@ -129,7 +132,8 @@ int usage()
     std::fprintf(stderr,
                  "usage: pn_tool {analyze|schedule|report|codegen|dot} model.pn\n"
                  "       pn_tool explore [--threads N] [--max-states S]\n"
-                 "                       [--max-tokens K] [--reduce stubborn|none]\n"
+                 "                       [--max-tokens K]\n"
+                 "                       [--reduce none|stubborn|stubborn-ltlx]\n"
                  "                       model.pn\n"
                  "       pn_tool batch [--jobs N] [--max-allocations A] [--no-codegen]\n"
                  "                     [--verbose] model.pn...\n"
@@ -177,10 +181,16 @@ int explore(int argc, char** argv)
             const std::string kind = argv[++i];
             if (kind == "stubborn") {
                 options.reduction = pn::reduction_kind::stubborn;
+                options.strength = pn::reduction_strength::deadlock;
+            } else if (kind == "stubborn-ltlx") {
+                options.reduction = pn::reduction_kind::stubborn;
+                options.strength = pn::reduction_strength::ltl_x;
             } else if (kind == "none") {
                 options.reduction = pn::reduction_kind::none;
             } else {
-                std::fprintf(stderr, "unknown reduction '%s' (stubborn|none)\n",
+                std::fprintf(stderr,
+                             "unknown reduction '%s': accepted strengths are "
+                             "none, stubborn, stubborn-ltlx\n",
                              kind.c_str());
                 return 2;
             }
@@ -201,10 +211,13 @@ int explore(int argc, char** argv)
 
     const pn::petri_net net = pnio::load_net(path);
     const bool reduced = options.reduction == pn::reduction_kind::stubborn;
+    const bool ltlx = reduced && options.strength == pn::reduction_strength::ltl_x;
     const pn::state_space space = pn::explore_space(net, options);
     std::printf("net '%s': explored %zu states, %zu edges%s%s\n", net.name().c_str(),
                 space.state_count(), space.edge_count(),
-                reduced ? " (stubborn reduction: deadlock-preserving fragment)" : "",
+                !reduced ? ""
+                : ltlx   ? " (stubborn reduction: liveness-preserving ltl_x fragment)"
+                         : " (stubborn reduction: deadlock-preserving fragment)",
                 space.truncated() ? " (truncated by budget)" : "");
     std::printf("  store: %.2f MiB arena+table\n",
                 static_cast<double>(space.store().memory_bytes()) / (1024.0 * 1024.0));

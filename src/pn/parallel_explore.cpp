@@ -225,7 +225,8 @@ state_space explore_parallel(const petri_net& net,
     // maintained in phase E for the incremental updates.
     std::optional<stubborn_reduction> stubborn;
     if (options.reduction == reduction_kind::stubborn) {
-        stubborn.emplace(net);
+        stubborn.emplace(net, stubborn_options{.strength = options.strength,
+                                               .observed_places = options.observed_places});
     }
 
     std::vector<shard_state> shards;
@@ -506,6 +507,18 @@ state_space explore_parallel(const petri_net& net,
     // lookup table is left to build.
     result.store_.finish_bulk_build();
     result.truncated_ = truncated;
+    if (stubborn && options.strength == reduction_strength::ltl_x) {
+        // The base graph above is bit-identical to the sequential engine's,
+        // and the fix-up is a deterministic sequential function of it, so
+        // the thread-count-independence guarantee carries through.
+        detail::enforce_nonignoring(net, *stubborn, result,
+                                    {.max_states = options.max_states,
+                                     .max_tokens_per_place =
+                                         options.max_tokens_per_place,
+                                     .reduction = options.reduction,
+                                     .strength = options.strength,
+                                     .observed_places = options.observed_places});
+    }
     return result;
 }
 

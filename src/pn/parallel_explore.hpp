@@ -38,6 +38,13 @@ struct parallel_explore_options {
     /// exploration too: explore_parallel with reduction equals
     /// explore_state_space with the same reduction.
     reduction_kind reduction = reduction_kind::none;
+    /// Reduction strength (pn/stubborn.hpp).  Under ltl_x the ignoring
+    /// fix-up runs as the same deterministic sequential post-pass both
+    /// engines share (detail::enforce_nonignoring), on the already
+    /// bit-identical leveled graph — so the guarantee above survives.
+    reduction_strength strength = reduction_strength::deadlock;
+    /// Places the query observes (the ltl_x visibility set).
+    std::vector<place_id> observed_places{};
 };
 
 /// Breadth-first exploration from the net's initial marking on the sharded

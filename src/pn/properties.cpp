@@ -30,6 +30,30 @@ verdict check_safe(const petri_net& net)
     return check_k_bounded(net, 1);
 }
 
+verdict check_k_bounded_explicit(const petri_net& net, std::int64_t k,
+                                 const reachability_options& options)
+{
+    // "Some place exceeds k" is a stutter-invariant reachability query over
+    // every place, so a stubborn reduction must observe them all: the
+    // ltl_x visibility condition then keeps every token-moving firing
+    // ordered, and the ignoring fix-up closes the cycles.
+    reachability_options opts = options;
+    if (opts.reduction == reduction_kind::stubborn) {
+        opts.strength = reduction_strength::ltl_x;
+        opts.observed_places.clear();
+        for (const place_id p : net.places()) {
+            opts.observed_places.push_back(p);
+        }
+    }
+    const state_space space = explore_space(net, opts);
+    for (const std::int64_t bound : place_bounds(space)) {
+        if (bound > k) {
+            return verdict::no; // a witness marking is definite either way
+        }
+    }
+    return space.truncated() ? verdict::unknown : verdict::yes;
+}
+
 verdict check_deadlock_free(const petri_net& net, const reachability_options& options)
 {
     // Served straight off the compact state space: no marking-object graph
@@ -43,12 +67,17 @@ verdict check_deadlock_free(const petri_net& net, const reachability_options& op
 
 verdict check_live(const petri_net& net, const reachability_options& options)
 {
-    // Liveness quantifies over the *full* reachability graph; a stubborn
-    // reduction only preserves deadlocks, so it is forced off here even
-    // when the caller's options carry one.
-    reachability_options full = options;
-    full.reduction = reduction_kind::none;
-    const state_space space = explore_space(net, full);
+    // Liveness quantifies over every transition from every reachable
+    // marking, which deadlock-strength stubborn sets do not preserve — but
+    // ltl_x-strength ones do (the SCC-local non-ignoring proviso keeps
+    // fireability exact; no place needs observing).  A caller-requested
+    // reduction is therefore upgraded, not forced off.
+    reachability_options opts = options;
+    if (opts.reduction == reduction_kind::stubborn) {
+        opts.strength = reduction_strength::ltl_x;
+        opts.observed_places.clear();
+    }
+    const state_space space = explore_space(net, opts);
     if (space.truncated()) {
         return verdict::unknown;
     }

@@ -26,6 +26,17 @@ enum class verdict {
 /// k-boundedness over the reachable markings (Sec. 2).  Exact via Karp–Miller.
 [[nodiscard]] verdict check_k_bounded(const petri_net& net, std::int64_t k);
 
+/// k-boundedness decided on the explicit reachability graph instead of the
+/// coverability tree (useful when the caller already pays for exploration,
+/// or wants the engines' thread/reduction knobs).  An over-k witness is
+/// definite even on a truncated exploration; "yes" needs the full graph.
+/// With a stubborn reduction the strength is upgraded to ltl_x with every
+/// place observed, which makes all token-moving transitions visible — the
+/// verdict stays exact, at the cost of most of the reduction (see the
+/// README reduction-guarantees table).
+[[nodiscard]] verdict check_k_bounded_explicit(const petri_net& net, std::int64_t k,
+                                              const reachability_options& options = {});
+
 /// Safeness = 1-boundedness.  Lin's method (Sec. 1) assumes this; the paper's
 /// point is that QSS does not.
 [[nodiscard]] verdict check_safe(const petri_net& net);

@@ -14,13 +14,17 @@ state_space explore_space(const petri_net& net, const reachability_options& opti
         return explore_state_space(
             net, {.max_states = options.max_markings,
                   .max_tokens_per_place = options.max_tokens_per_place,
-                  .reduction = options.reduction});
+                  .reduction = options.reduction,
+                  .strength = options.strength,
+                  .observed_places = options.observed_places});
     }
     return explore_parallel(net,
                             {.threads = options.threads,
                              .max_states = options.max_markings,
                              .max_tokens_per_place = options.max_tokens_per_place,
-                             .reduction = options.reduction});
+                             .reduction = options.reduction,
+                             .strength = options.strength,
+                             .observed_places = options.observed_places});
 }
 
 reachability_graph explore(const petri_net& net, const reachability_options& options)

@@ -28,11 +28,18 @@ struct reachability_options {
     /// Results are bit-identical either way.
     std::size_t threads = 1;
     /// Per-state partial-order reduction (pn/stubborn.hpp).  `stubborn`
-    /// explores a deadlock-preserving fragment: has-deadlock and the set of
-    /// reachable dead markings match the full graph (exactly, when neither
-    /// run is truncated), but the reachability set does not — keep `none`
-    /// for is_reachable / place_bounds / liveness-style queries.
+    /// explores a property-preserving fragment: with `strength = deadlock`
+    /// has-deadlock and the set of reachable dead markings match the full
+    /// graph (exactly, when neither run is truncated); with `strength =
+    /// ltl_x` transition liveness and stutter-invariant queries over
+    /// `observed_places` are preserved too.  The reachability *set* is
+    /// never preserved — keep `none` for is_reachable / shortest_path /
+    /// place_bounds-style queries.
     reduction_kind reduction = reduction_kind::none;
+    /// Reduction strength (pn/stubborn.hpp); meaningful with `stubborn`.
+    reduction_strength strength = reduction_strength::deadlock;
+    /// Places the query observes (the ltl_x visibility set).
+    std::vector<place_id> observed_places{};
 };
 
 /// One explored marking and its outgoing firings.

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <optional>
 
+#include "graph/digraph.hpp"
+#include "graph/scc.hpp"
+
 namespace fcqss::pn {
 
 namespace detail {
@@ -62,6 +65,215 @@ void merge_enabled(const petri_net& net,
     }
 }
 
+// The ltl_x ignoring fix-up.  The reduced graph built by D1/D2 (+V/I) sets
+// alone can starve a transition forever: a cycle of cheap closures keeps
+// expanding one process while another stays enabled and untouched, which
+// breaks liveness and fireability verdicts.  Ignoring can only happen along
+// an infinite path, and every infinite path of a finite graph is eventually
+// trapped in one cycle-capable SCC, so the SCC-local proviso below — every
+// transition enabled somewhere in such an SCC fires somewhere in it — is
+// exactly "no transition is ignored forever".  (Trivial SCCs without a
+// self-loop cannot trap a path and are exempt, which is what keeps the
+// reduction intact on acyclic regions.)  The pass works on mutable
+// per-state edge rows and rebuilds the CSR once at the end; it expands one
+// state per offending SCC per round and re-explores only the freshly
+// discovered states, never restarting from scratch.
+void enforce_nonignoring(const petri_net& net, const stubborn_reduction& reduction,
+                         state_space& space, const state_space_options& options)
+{
+    const std::size_t width = net.place_count();
+    const std::int64_t cap = options.max_tokens_per_place;
+    marking_store& store = space.store_;
+
+    // Mutable per-state edge rows, materialized lazily on the first
+    // offender; until then every read goes straight to the engine's CSR.
+    // The common case — an acyclic reduced graph, or one whose
+    // cycle-capable SCCs already fire everything — pays one Tarjan and no
+    // copy at all.  Once materialized, rows.size() is the number of
+    // *expanded* states; trailing freshly-interned states are pending.
+    std::vector<std::vector<state_space_edge>> rows;
+    bool materialized = false;
+    const auto successors_of =
+        [&](state_id s) -> std::span<const state_space_edge> {
+        if (materialized) {
+            return {rows[s].data(), rows[s].size()};
+        }
+        return space.successors(s);
+    };
+
+    // Enabled sets, computed lazily and cached — a state's tokens never
+    // change, and only cycle-capable SCC members and re-expanded states
+    // ever need theirs, so acyclic regions cost nothing here.
+    std::vector<std::vector<transition_id>> enabled_cache(space.state_count());
+    std::vector<std::uint8_t> enabled_known(space.state_count(), 0);
+    const auto enabled_of =
+        [&](state_id s) -> const std::vector<transition_id>& {
+        if (!enabled_known[s]) {
+            enabled_known[s] = 1;
+            const std::int64_t* tokens = store.tokens(s).data();
+            for (transition_id t : net.transitions()) {
+                if (enabled_in(net, tokens, t)) {
+                    enabled_cache[s].push_back(t);
+                }
+            }
+        }
+        return enabled_cache[s];
+    };
+
+    std::vector<std::uint8_t> fully_expanded(space.state_count(), 0);
+    std::vector<std::int64_t> scratch(width);
+    stubborn_workspace ws;
+    std::vector<transition_id> reduced;
+
+    // Fires t from s and appends the edge to rows[s]; budget-dropped
+    // successors (token cap, state budget) mark the space truncated,
+    // exactly like in-engine expansion.  The full-vector cap scan is
+    // equivalent to the engines' per-touched-place check (every interned
+    // parent except possibly the root already obeys the cap) and also
+    // covers the over-cap-root case.
+    const auto add_edge = [&](state_id s, transition_id t) {
+        const std::span<const std::int64_t> current = store.tokens(s);
+        std::copy(current.begin(), current.end(), scratch.begin());
+        for (const place_weight& in : net.inputs(t)) {
+            scratch[in.place.index()] -= in.weight;
+        }
+        for (const place_weight& out : net.outputs(t)) {
+            scratch[out.place.index()] += out.weight;
+        }
+        for (const std::int64_t count : scratch) {
+            if (count > cap) {
+                space.truncated_ = true;
+                return;
+            }
+        }
+        const std::uint64_t hash = marking_store::hash_tokens(scratch.data(), width);
+        const auto [to, inserted] =
+            store.intern(scratch.data(), hash, options.max_states);
+        if (to == invalid_state) {
+            space.truncated_ = true;
+            return;
+        }
+        static_cast<void>(inserted);
+        rows[s].push_back({t, to});
+    };
+
+    // Expands every pending state (freshly interned, no row yet) with the
+    // normal per-state reduction, in id order; expansion may intern more.
+    const auto expand_tail = [&] {
+        while (rows.size() < store.size()) {
+            const state_id s = static_cast<state_id>(rows.size());
+            rows.emplace_back();
+            enabled_cache.emplace_back();
+            enabled_known.push_back(0);
+            fully_expanded.push_back(0);
+            const std::vector<transition_id>& enabled = enabled_of(s);
+            reduction.reduce(store.tokens(s).data(), enabled, ws, reduced);
+            for (const transition_id t : reduced) {
+                add_edge(s, t);
+            }
+            fully_expanded[s] = reduced.size() == enabled.size() ? 1 : 0;
+        }
+    };
+
+    std::vector<std::uint8_t> fired(net.transition_count(), 0);
+    for (;;) {
+        const std::size_t states = materialized ? rows.size() : space.state_count();
+        graph::digraph state_graph(states);
+        for (state_id s = 0; s < static_cast<state_id>(states); ++s) {
+            for (const state_space_edge& edge : successors_of(s)) {
+                state_graph.add_edge(s, edge.to);
+            }
+        }
+        const graph::scc_result sccs =
+            graph::strongly_connected_components(state_graph);
+
+        std::vector<state_id> offenders;
+        for (std::size_t c = 0; c < sccs.component_count(); ++c) {
+            const std::vector<std::size_t>& members = sccs.members[c];
+            bool cyclic = members.size() > 1;
+            if (!cyclic) {
+                for (const state_space_edge& edge :
+                     successors_of(static_cast<state_id>(members.front()))) {
+                    cyclic |= static_cast<std::size_t>(edge.to) == members.front();
+                }
+            }
+            if (!cyclic) {
+                continue;
+            }
+            std::fill(fired.begin(), fired.end(), 0);
+            for (const std::size_t v : members) {
+                for (const state_space_edge& edge :
+                     successors_of(static_cast<state_id>(v))) {
+                    fired[edge.via.index()] = 1;
+                }
+            }
+            // The offender: the smallest-id member enabling an ignored
+            // transition that is not fully expanded yet.  When every such
+            // member is already fully expanded, the missing edges were
+            // budget-dropped — the space is truncated and the verdicts
+            // downstream are unknown anyway, so the SCC is left alone.
+            state_id pick = invalid_state;
+            for (const std::size_t v : members) {
+                if (fully_expanded[v]) {
+                    continue;
+                }
+                for (const transition_id t : enabled_of(static_cast<state_id>(v))) {
+                    if (!fired[t.index()]) {
+                        pick = static_cast<state_id>(v);
+                        break;
+                    }
+                }
+                if (pick != invalid_state) {
+                    break;
+                }
+            }
+            if (pick != invalid_state) {
+                offenders.push_back(pick);
+            }
+        }
+        if (offenders.empty()) {
+            break;
+        }
+        if (!materialized) {
+            rows.resize(space.state_count());
+            for (state_id s = 0; s < static_cast<state_id>(rows.size()); ++s) {
+                const std::span<const state_space_edge> edges = space.successors(s);
+                rows[s].assign(edges.begin(), edges.end());
+            }
+            materialized = true;
+        }
+        std::sort(offenders.begin(), offenders.end());
+        for (const state_id s : offenders) {
+            fully_expanded[s] = 1;
+            for (const transition_id t : enabled_of(s)) {
+                bool present = false;
+                for (const state_space_edge& edge : rows[s]) {
+                    present |= edge.via == t;
+                }
+                if (!present) {
+                    add_edge(s, t);
+                }
+            }
+            std::sort(rows[s].begin(), rows[s].end(),
+                      [](const state_space_edge& a, const state_space_edge& b) {
+                          return a.via < b.via;
+                      });
+        }
+        expand_tail();
+    }
+
+    if (!materialized) {
+        return; // nothing was ever ignored: the engine's CSR stands as-is
+    }
+    // Rebuild the CSR from the final rows.
+    space.edges_.clear();
+    space.edge_offsets_.assign(1, 0);
+    for (const std::vector<state_space_edge>& row : rows) {
+        space.edges_.insert(space.edges_.end(), row.begin(), row.end());
+        space.edge_offsets_.push_back(space.edges_.size());
+    }
+}
+
 } // namespace detail
 
 marking state_space::marking_of(state_id s) const
@@ -117,7 +329,8 @@ state_space explore_state_space(const petri_net& net, const state_space_options&
     // parent's full set, reduced or not.
     std::optional<stubborn_reduction> stubborn;
     if (options.reduction == reduction_kind::stubborn) {
-        stubborn.emplace(net);
+        stubborn.emplace(net, stubborn_options{.strength = options.strength,
+                                               .observed_places = options.observed_places});
     }
     stubborn_workspace stubborn_ws;
     std::vector<transition_id> reduced;
@@ -191,6 +404,9 @@ state_space explore_state_space(const petri_net& net, const state_space_options&
             }
         }
         result.edge_offsets_.push_back(result.edges_.size());
+    }
+    if (stubborn && options.strength == reduction_strength::ltl_x) {
+        detail::enforce_nonignoring(net, *stubborn, result, options);
     }
     return result;
 }

@@ -23,6 +23,7 @@
 namespace fcqss::pn {
 
 struct parallel_explore_options;
+class state_space;
 
 /// Budgets for explicit exploration, mirroring reachability_options.
 struct state_space_options {
@@ -32,6 +33,17 @@ struct state_space_options {
     /// preserves deadlock verdicts and the set of reachable dead markings,
     /// not the full reachability set.
     reduction_kind reduction = reduction_kind::none;
+    /// How much the stubborn reduction preserves (pn/stubborn.hpp):
+    /// `deadlock` applies D1/D2 only; `ltl_x` adds the visibility
+    /// conditions over `observed_places` and the SCC-local "no transition
+    /// ignored forever" post-pass, so transition liveness and
+    /// stutter-invariant queries stay exact on the reduced graph.
+    reduction_strength strength = reduction_strength::deadlock;
+    /// Places the query observes (the ltl_x visibility set — see
+    /// stubborn_options::observed_places).  Empty is right for deadlock and
+    /// liveness queries; boundedness-style queries observe the places they
+    /// bound.
+    std::vector<place_id> observed_places{};
 };
 
 namespace detail {
@@ -53,6 +65,20 @@ affected_transitions(const petri_net& net);
 void merge_enabled(const petri_net& net, const std::vector<transition_id>& parent_enabled,
                    const std::vector<transition_id>& recheck,
                    const std::int64_t* tokens, std::vector<transition_id>& out);
+
+/// The ltl_x "no transition ignored forever" post-pass shared by both
+/// engines: over the finished reduced graph, every SCC that can sustain a
+/// cycle (two or more states, or a self-loop) and ignores a transition —
+/// enabled at some member state but fired from none — gets its smallest
+/// such state fully expanded; freshly discovered states are then explored
+/// with the normal per-state reduction, and the check repeats until no SCC
+/// ignores anything.  Sequential and deterministic in (net, reduction,
+/// space, options) alone, so running it after either engine keeps the
+/// bit-identical-at-any-thread-count guarantee.  Budgets are respected
+/// exactly like in-engine expansion (dropped successors mark the space
+/// truncated).
+void enforce_nonignoring(const petri_net& net, const stubborn_reduction& reduction,
+                         state_space& space, const state_space_options& options);
 
 } // namespace detail
 
@@ -96,6 +122,10 @@ private:
                                            const state_space_options& options);
     friend state_space explore_parallel(const petri_net& net,
                                         const parallel_explore_options& options);
+    friend void detail::enforce_nonignoring(const petri_net& net,
+                                            const stubborn_reduction& reduction,
+                                            state_space& space,
+                                            const state_space_options& options);
 
     marking_store store_{0};
     std::vector<state_space_edge> edges_;

@@ -5,7 +5,8 @@
 
 namespace fcqss::pn {
 
-stubborn_reduction::stubborn_reduction(const petri_net& net) : net_(&net)
+stubborn_reduction::stubborn_reduction(const petri_net& net, stubborn_options options)
+    : net_(&net), strength_(options.strength)
 {
     conflicts_.resize(net.transition_count());
     for (transition_id t : net.transitions()) {
@@ -19,6 +20,49 @@ stubborn_reduction::stubborn_reduction(const petri_net& net) : net_(&net)
         }
         std::sort(list.begin(), list.end());
         list.erase(std::unique(list.begin(), list.end()), list.end());
+    }
+
+    // Visibility is an ltl_x concern only: deadlock-strength reductions stay
+    // byte-identical to the pre-visibility behaviour whatever the caller
+    // puts in observed_places.
+    if (strength_ == reduction_strength::ltl_x && !options.observed_places.empty()) {
+        std::vector<std::uint8_t> observed(net.place_count(), 0);
+        for (const place_id p : options.observed_places) {
+            observed[p.index()] = 1;
+        }
+        // t is visible iff its *net* token delta on some observed place is
+        // non-zero — a self-loop arc pair that cancels out never changes
+        // what the query sees.
+        std::vector<std::int64_t> delta(net.place_count(), 0);
+        std::vector<std::size_t> touched;
+        visible_.assign(net.transition_count(), 0);
+        for (transition_id t : net.transitions()) {
+            touched.clear();
+            for (const place_weight& in : net.inputs(t)) {
+                if (delta[in.place.index()] == 0) {
+                    touched.push_back(in.place.index());
+                }
+                delta[in.place.index()] -= in.weight;
+            }
+            for (const place_weight& out : net.outputs(t)) {
+                if (delta[out.place.index()] == 0 && out.weight != 0) {
+                    touched.push_back(out.place.index());
+                }
+                delta[out.place.index()] += out.weight;
+            }
+            for (const std::size_t place : touched) {
+                if (observed[place] != 0 && delta[place] != 0) {
+                    visible_[t.index()] = 1;
+                }
+                delta[place] = 0;
+            }
+            if (visible_[t.index()] != 0) {
+                visible_list_.push_back(t);
+            }
+        }
+        if (visible_list_.empty()) {
+            visible_.clear(); // nothing visible: keep the O(1) fast path
+        }
     }
 }
 
@@ -57,6 +101,7 @@ std::size_t stubborn_reduction::closure(const std::int64_t* tokens, transition_i
     };
     add(seed);
     std::size_t enabled_members = 0;
+    bool visible_pulled = false;
     while (!ws.stack.empty()) {
         const transition_id t = ws.stack.back();
         ws.stack.pop_back();
@@ -66,6 +111,15 @@ std::size_t stubborn_reduction::closure(const std::int64_t* tokens, transition_i
             }
             for (const transition_id other : conflicts_[t.index()]) {
                 add(other);
+            }
+            // Condition V: an enabled visible member drags every visible
+            // transition into the set (disabled ones D1-close as usual), so
+            // visible firings are only ever stuttered, never reordered.
+            if (!visible_pulled && visible(t)) {
+                visible_pulled = true;
+                for (const transition_id v : visible_list_) {
+                    add(v);
+                }
             }
         } else {
             for (const transition_weight& producer :
@@ -96,13 +150,35 @@ void stubborn_reduction::reduce(const std::int64_t* tokens,
         ws.is_enabled[t.index()] = 1;
     }
 
-    // Every enabled transition is a candidate seed; keep the seed whose
-    // closure contains the fewest enabled transitions (ties to the lowest
-    // seed id, since later seeds only win strictly).  A singleton is
-    // optimal, so stop the moment one appears.
+    // Condition I (ltl_x with a non-empty visibility set): when an
+    // invisible enabled transition exists, only invisible seeds are tried —
+    // the chosen closure then contains its (enabled, invisible) seed, so
+    // the reduction never forces visible-only progress it could stutter.
+    // When every enabled transition is visible, condition V makes any seed
+    // close over all of them, so the seed choice is moot.
+    const bool restrict_to_invisible = [&] {
+        if (visible_list_.empty()) {
+            return false;
+        }
+        for (const transition_id t : enabled) {
+            if (!visible(t)) {
+                return true;
+            }
+        }
+        return false;
+    }();
+
+    // Every candidate seed's closure competes; keep the seed whose closure
+    // contains the fewest enabled transitions (ties to the lowest seed id,
+    // since later seeds only win strictly).  A singleton is optimal, so
+    // stop the moment one appears.  Because every seed is enabled, every
+    // chosen set has an enabled key transition by construction.
     std::size_t best_count = enabled.size();
     ws.best.clear();
     for (const transition_id seed : enabled) {
+        if (restrict_to_invisible && visible(seed)) {
+            continue;
+        }
         const std::size_t count = closure(tokens, seed, best_count, ws);
         if (count < best_count) {
             best_count = count;

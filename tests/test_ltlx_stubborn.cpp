@@ -1,0 +1,507 @@
+// The differential liveness test net for the ltl_x stubborn-set strength
+// (pn/stubborn.hpp): randomized sweeps over every generator family x defect
+// x token load x source credit assert that check_live / boundedness
+// verdicts decided on the ltl_x-reduced graph equal the unreduced engine's
+// exactly, at threads 1/2/4 and under tight truncating budgets, and that
+// the reduced spaces themselves stay bit-identical across thread counts
+// (the ignoring fix-up is a deterministic sequential post-pass).  The file
+// also carries the ignoring-regression fixture — a cycle of choices that a
+// deadlock-strength reduction starves forever, flipping the liveness
+// verdict — and the from-scratch proviso property test: in every
+// cycle-capable SCC of an ltl_x-reduced graph, each transition enabled
+// somewhere in the SCC is fired somewhere in it.  Runs under the TSan CI
+// job.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/scc.hpp"
+#include "pipeline/net_generator.hpp"
+#include "pn/builder.hpp"
+#include "pn/parallel_explore.hpp"
+#include "pn/properties.hpp"
+#include "pn/reachability.hpp"
+#include "pn/state_space.hpp"
+#include "pn/stubborn.hpp"
+
+namespace fcqss::pn {
+namespace {
+
+constexpr std::size_t thread_counts[] = {1, 2, 4};
+
+/// From-scratch enabled set of `tokens`, ascending.
+std::vector<transition_id> scan_enabled(const petri_net& net,
+                                        const std::int64_t* tokens)
+{
+    std::vector<transition_id> enabled;
+    for (transition_id t : net.transitions()) {
+        if (detail::enabled_in(net, tokens, t)) {
+            enabled.push_back(t);
+        }
+    }
+    return enabled;
+}
+
+/// Bit-identical comparison: same ids, same token spans, same CSR rows,
+/// same truncation verdict (as in test_stubborn.cpp).
+void expect_identical_spaces(const state_space& expected, const state_space& actual)
+{
+    ASSERT_EQ(expected.state_count(), actual.state_count());
+    ASSERT_EQ(expected.edge_count(), actual.edge_count());
+    EXPECT_EQ(expected.truncated(), actual.truncated());
+    for (state_id s = 0; s < static_cast<state_id>(expected.state_count()); ++s) {
+        const auto expected_tokens = expected.tokens(s);
+        const auto actual_tokens = actual.tokens(s);
+        ASSERT_TRUE(std::equal(expected_tokens.begin(), expected_tokens.end(),
+                               actual_tokens.begin(), actual_tokens.end()))
+            << "state " << s;
+        const auto expected_edges = expected.successors(s);
+        const auto actual_edges = actual.successors(s);
+        ASSERT_TRUE(std::equal(expected_edges.begin(), expected_edges.end(),
+                               actual_edges.begin(), actual_edges.end()))
+            << "state " << s;
+    }
+}
+
+/// The bottom-SCC liveness analysis of properties.cpp, applied to a
+/// prebuilt graph — lets the tests evaluate what check_live *would* say on
+/// a given (possibly unsoundly reduced) space.
+verdict live_verdict_on(const petri_net& net, const state_space& space)
+{
+    if (space.truncated()) {
+        return verdict::unknown;
+    }
+    if (space.state_count() == 0 || net.transition_count() == 0) {
+        return verdict::no;
+    }
+    graph::digraph state_graph(space.state_count());
+    for (state_id v = 0; v < static_cast<state_id>(space.state_count()); ++v) {
+        for (const state_space_edge& edge : space.successors(v)) {
+            state_graph.add_edge(v, edge.to);
+        }
+    }
+    const graph::scc_result sccs = graph::strongly_connected_components(state_graph);
+    std::vector<bool> is_bottom(sccs.component_count(), true);
+    for (state_id v = 0; v < static_cast<state_id>(space.state_count()); ++v) {
+        for (const state_space_edge& edge : space.successors(v)) {
+            if (sccs.component[v] != sccs.component[edge.to]) {
+                is_bottom[sccs.component[v]] = false;
+            }
+        }
+    }
+    for (std::size_t c = 0; c < sccs.component_count(); ++c) {
+        if (!is_bottom[c]) {
+            continue;
+        }
+        std::vector<bool> fires(net.transition_count(), false);
+        for (const std::size_t v : sccs.members[c]) {
+            for (const state_space_edge& edge :
+                 space.successors(static_cast<state_id>(v))) {
+                if (sccs.component[edge.to] == c) {
+                    fires[edge.via.index()] = true;
+                }
+            }
+        }
+        for (const bool fired : fires) {
+            if (!fired) {
+                return verdict::no;
+            }
+        }
+    }
+    return verdict::yes;
+}
+
+/// The satellite proviso, checked from scratch against the CSR edges: in
+/// every SCC that can sustain a cycle, each transition enabled somewhere in
+/// the SCC is fired somewhere in it.
+void expect_proviso_holds(const petri_net& net, const state_space& space)
+{
+    ASSERT_FALSE(space.truncated()) << "proviso is only enforced on complete graphs";
+    graph::digraph state_graph(space.state_count());
+    for (state_id v = 0; v < static_cast<state_id>(space.state_count()); ++v) {
+        for (const state_space_edge& edge : space.successors(v)) {
+            state_graph.add_edge(v, edge.to);
+        }
+    }
+    const graph::scc_result sccs = graph::strongly_connected_components(state_graph);
+    for (std::size_t c = 0; c < sccs.component_count(); ++c) {
+        const std::vector<std::size_t>& members = sccs.members[c];
+        bool cyclic = members.size() > 1;
+        if (!cyclic) {
+            for (const state_space_edge& edge :
+                 space.successors(static_cast<state_id>(members.front()))) {
+                cyclic |= static_cast<std::size_t>(edge.to) == members.front();
+            }
+        }
+        if (!cyclic) {
+            continue;
+        }
+        std::vector<bool> fired(net.transition_count(), false);
+        for (const std::size_t v : members) {
+            for (const state_space_edge& edge :
+                 space.successors(static_cast<state_id>(v))) {
+                fired[edge.via.index()] = true;
+            }
+        }
+        for (const std::size_t v : members) {
+            for (const transition_id t :
+                 scan_enabled(net, space.tokens(static_cast<state_id>(v)).data())) {
+                EXPECT_TRUE(fired[t.index()])
+                    << "transition " << net.transition_name(t)
+                    << " is enabled in SCC " << c << " (state " << v
+                    << ") but never fired in it";
+            }
+        }
+    }
+}
+
+// -- The ignoring-regression fixture ----------------------------------------
+
+/// A tight two-state cycle (a1/a2) next to a cycle of choices: from y1
+/// either branch b or branch c loops back.  The whole net is live, but a
+/// deadlock-strength stubborn reduction forever prefers the conflict-free
+/// a-cycle — the singleton closure {a1} or {a2} always beats the choice
+/// cluster — so every b/c transition stays enabled and is never fired: the
+/// textbook ignoring problem.
+petri_net cycle_of_choices()
+{
+    net_builder b("cycle_of_choices");
+    const auto x1 = b.add_place("x1", 1);
+    const auto x2 = b.add_place("x2");
+    const auto y1 = b.add_place("y1", 1);
+    const auto y2 = b.add_place("y2");
+    const auto y3 = b.add_place("y3");
+    const auto a1 = b.add_transition("a1");
+    const auto a2 = b.add_transition("a2");
+    const auto b1 = b.add_transition("b1");
+    const auto b2 = b.add_transition("b2");
+    const auto c1 = b.add_transition("c1");
+    const auto c2 = b.add_transition("c2");
+    b.add_arc(x1, a1);
+    b.add_arc(a1, x2);
+    b.add_arc(x2, a2);
+    b.add_arc(a2, x1);
+    b.add_arc(y1, b1);
+    b.add_arc(b1, y2);
+    b.add_arc(y2, b2);
+    b.add_arc(b2, y1);
+    b.add_arc(y1, c1);
+    b.add_arc(c1, y3);
+    b.add_arc(y3, c2);
+    b.add_arc(c2, y1);
+    return std::move(b).build();
+}
+
+TEST(ltlx_stubborn, deadlock_strength_starves_the_choice_cycle)
+{
+    const petri_net net = cycle_of_choices();
+    const state_space full = explore_state_space(net, {});
+    ASSERT_FALSE(full.truncated());
+    EXPECT_EQ(full.state_count(), 6u);
+    EXPECT_EQ(live_verdict_on(net, full), verdict::yes);
+
+    // Deadlock strength: the a-cycle is expanded alone forever.  The graph
+    // is deadlock-correct (no deadlock to find) but liveness-wrong.
+    const state_space starved =
+        explore_state_space(net, {.reduction = reduction_kind::stubborn});
+    ASSERT_FALSE(starved.truncated());
+    EXPECT_EQ(starved.state_count(), 2u);
+    std::vector<bool> fired(net.transition_count(), false);
+    for (state_id s = 0; s < static_cast<state_id>(starved.state_count()); ++s) {
+        for (const state_space_edge& edge : starved.successors(s)) {
+            fired[edge.via.index()] = true;
+        }
+    }
+    EXPECT_EQ(std::count(fired.begin(), fired.end(), true), 2)
+        << "only the a-cycle should ever fire under deadlock strength";
+    EXPECT_EQ(live_verdict_on(net, starved), verdict::no)
+        << "the starved graph must misreport liveness — the very bug "
+           "ltl_x strength exists to fix";
+}
+
+TEST(ltlx_stubborn, ltlx_strength_flips_the_verdict_to_the_correct_one)
+{
+    const petri_net net = cycle_of_choices();
+    const state_space reduced = explore_state_space(
+        net, {.reduction = reduction_kind::stubborn,
+              .strength = reduction_strength::ltl_x});
+    ASSERT_FALSE(reduced.truncated());
+    expect_proviso_holds(net, reduced);
+    EXPECT_EQ(live_verdict_on(net, reduced), verdict::yes);
+
+    // And through the public query, at every thread count.
+    EXPECT_EQ(check_live(net), verdict::yes);
+    for (const std::size_t threads : thread_counts) {
+        reachability_options options;
+        options.threads = threads;
+        options.reduction = reduction_kind::stubborn;
+        EXPECT_EQ(check_live(net, options), verdict::yes)
+            << "threads " << threads;
+    }
+}
+
+TEST(ltlx_stubborn, fixup_is_a_no_op_on_acyclic_graphs)
+{
+    // Two independent one-shot chains (as in test_stubborn.cpp): the
+    // deadlock reduction serializes them into 3 of the 4 states, and since
+    // the graph is acyclic nothing can be ignored forever — ltl_x must
+    // keep the reduction untouched rather than degrade to full expansion.
+    net_builder b("independent_chains");
+    const auto p0 = b.add_place("p0", 1);
+    const auto p1 = b.add_place("p1");
+    const auto q0 = b.add_place("q0", 1);
+    const auto q1 = b.add_place("q1");
+    const auto t0 = b.add_transition("t0");
+    const auto u0 = b.add_transition("u0");
+    b.add_arc(p0, t0);
+    b.add_arc(t0, p1);
+    b.add_arc(q0, u0);
+    b.add_arc(u0, q1);
+    const petri_net net = std::move(b).build();
+
+    const state_space deadlock_reduced =
+        explore_state_space(net, {.reduction = reduction_kind::stubborn});
+    const state_space ltlx_reduced = explore_state_space(
+        net, {.reduction = reduction_kind::stubborn,
+              .strength = reduction_strength::ltl_x});
+    EXPECT_EQ(deadlock_reduced.state_count(), 3u);
+    expect_identical_spaces(deadlock_reduced, ltlx_reduced);
+}
+
+// -- Visibility (conditions V and I) ----------------------------------------
+
+TEST(ltlx_stubborn, invisible_seeds_are_preferred_and_visible_sets_merge)
+{
+    net_builder b("observed_chains");
+    const auto p0 = b.add_place("p0", 1);
+    const auto p1 = b.add_place("p1");
+    const auto q0 = b.add_place("q0", 1);
+    const auto q1 = b.add_place("q1");
+    const auto t0 = b.add_transition("t0");
+    const auto u0 = b.add_transition("u0");
+    b.add_arc(p0, t0);
+    b.add_arc(t0, p1);
+    b.add_arc(q0, u0);
+    b.add_arc(u0, q1);
+    const petri_net net = std::move(b).build();
+
+    const std::vector<std::int64_t>& m0 = net.initial_marking_vector();
+    const std::vector<transition_id> enabled = scan_enabled(net, m0.data());
+    ASSERT_EQ(enabled.size(), 2u);
+    stubborn_workspace ws;
+    std::vector<transition_id> out;
+
+    // Observing p1 makes t0 visible and u0 invisible: condition I restricts
+    // the seeds to u0, so the reduction defers the visible firing.
+    const stubborn_reduction observe_one(
+        net, {.strength = reduction_strength::ltl_x, .observed_places = {p1}});
+    EXPECT_TRUE(observe_one.visible(enabled[0]));  // t0
+    EXPECT_FALSE(observe_one.visible(enabled[1])); // u0
+    observe_one.reduce(m0.data(), enabled, ws, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out.front(), enabled[1]);
+
+    // Observing both chains makes both transitions visible: condition V
+    // pulls every visible transition into any candidate set, so nothing can
+    // be deferred and the state is fully expanded.
+    const stubborn_reduction observe_both(
+        net,
+        {.strength = reduction_strength::ltl_x, .observed_places = {p1, q1}});
+    observe_both.reduce(m0.data(), enabled, ws, out);
+    EXPECT_EQ(out, enabled);
+
+    // Deadlock strength ignores the visibility set entirely.
+    const stubborn_reduction deadlock_strength(
+        net,
+        {.strength = reduction_strength::deadlock, .observed_places = {p1, q1}});
+    EXPECT_FALSE(deadlock_strength.visible(enabled[0]));
+    deadlock_strength.reduce(m0.data(), enabled, ws, out);
+    EXPECT_EQ(out.size(), 1u);
+}
+
+// -- Randomized differential sweeps ----------------------------------------
+
+/// One net's worth of the differential: liveness and explicit boundedness
+/// verdicts on the ltl_x-reduced graph must equal the unreduced engine's at
+/// every thread count, and the reduced spaces themselves must be
+/// bit-identical across threads.
+void expect_ltlx_verdicts_match(const petri_net& net)
+{
+    reachability_options full;
+    full.max_markings = 300000;
+    const verdict live_full = check_live(net, full);
+    ASSERT_NE(live_full, verdict::unknown) << "test net too large: grow the budget";
+
+    reachability_options reduced = full;
+    reduced.reduction = reduction_kind::stubborn;
+    for (const std::size_t threads : thread_counts) {
+        SCOPED_TRACE("threads " + std::to_string(threads));
+        reduced.threads = threads;
+        EXPECT_EQ(check_live(net, reduced), live_full);
+        for (const std::int64_t k : {std::int64_t{1}, std::int64_t{4}}) {
+            full.threads = threads;
+            EXPECT_EQ(check_k_bounded_explicit(net, k, reduced),
+                      check_k_bounded_explicit(net, k, full))
+                << "k " << k;
+        }
+        full.threads = 1;
+    }
+
+    const state_space sequential = explore_state_space(
+        net, {.max_states = full.max_markings,
+              .reduction = reduction_kind::stubborn,
+              .strength = reduction_strength::ltl_x});
+    EXPECT_LE(sequential.state_count(), 300000u);
+    for (const std::size_t threads : thread_counts) {
+        SCOPED_TRACE("threads " + std::to_string(threads));
+        const state_space parallel = explore_parallel(
+            net, {.threads = threads, .max_states = full.max_markings,
+                  .reduction = reduction_kind::stubborn,
+                  .strength = reduction_strength::ltl_x});
+        expect_identical_spaces(sequential, parallel);
+    }
+}
+
+TEST(ltlx_stubborn, liveness_differential_all_families)
+{
+    for (const pipeline::net_family family :
+         {pipeline::net_family::marked_graph, pipeline::net_family::free_choice,
+          pipeline::net_family::choice_heavy}) {
+        for (const int defect_percent : {0, 50}) {
+            for (const int token_load : {0, 2}) {
+                for (const int credit : {1, 2}) {
+                    pipeline::generator_options options;
+                    options.family = family;
+                    options.sources = 2;
+                    options.depth = 3;
+                    options.token_load = token_load;
+                    options.defect_percent = defect_percent;
+                    options.source_credit = credit;
+                    pipeline::net_generator generator(17, options);
+                    const petri_net net = generator.next();
+                    SCOPED_TRACE(std::string("family ") +
+                                 pipeline::to_string(family) + " defects " +
+                                 std::to_string(defect_percent) + " tokens " +
+                                 std::to_string(token_load) + " credit " +
+                                 std::to_string(credit));
+                    expect_ltlx_verdicts_match(net);
+                }
+            }
+        }
+    }
+}
+
+TEST(ltlx_stubborn, verdicts_under_tight_budgets)
+{
+    pipeline::generator_options options;
+    options.family = pipeline::net_family::free_choice;
+    options.sources = 2;
+    options.depth = 4;
+    options.token_load = 2;
+    options.source_credit = 2;
+    pipeline::net_generator generator(23, options);
+    const petri_net net = generator.next();
+
+    reachability_options big;
+    big.max_markings = 300000;
+    const verdict truth = check_live(net, big);
+    ASSERT_NE(truth, verdict::unknown);
+
+    for (const std::size_t max_markings :
+         {std::size_t{1}, std::size_t{25}, std::size_t{400}, std::size_t{20000}}) {
+        SCOPED_TRACE("max_markings " + std::to_string(max_markings));
+        reachability_options tight;
+        tight.max_markings = max_markings;
+        const verdict full_tight = check_live(net, tight);
+        for (const std::size_t threads : thread_counts) {
+            SCOPED_TRACE("threads " + std::to_string(threads));
+            reachability_options reduced = tight;
+            reduced.threads = threads;
+            reduced.reduction = reduction_kind::stubborn;
+            const verdict red_tight = check_live(net, reduced);
+            if (red_tight == verdict::unknown) {
+                // A truncated reduced run explores a subset of the reachable
+                // markings, so the unreduced run must have truncated too.
+                EXPECT_EQ(full_tight, verdict::unknown);
+            } else {
+                // A complete reduced run is definite — and must agree with
+                // the ground truth even where the same-budget unreduced run
+                // already gave up.
+                EXPECT_EQ(red_tight, truth);
+            }
+        }
+    }
+
+    // Bit-identity across thread counts survives budgets that truncate the
+    // exploration mid-fixup.
+    for (const std::size_t max_states : {std::size_t{7}, std::size_t{120}}) {
+        SCOPED_TRACE("max_states " + std::to_string(max_states));
+        const state_space sequential = explore_state_space(
+            net, {.max_states = max_states, .max_tokens_per_place = 64,
+                  .reduction = reduction_kind::stubborn,
+                  .strength = reduction_strength::ltl_x});
+        for (const std::size_t threads : thread_counts) {
+            SCOPED_TRACE("threads " + std::to_string(threads));
+            const state_space parallel = explore_parallel(
+                net, {.threads = threads, .max_states = max_states,
+                      .max_tokens_per_place = 64,
+                      .reduction = reduction_kind::stubborn,
+                      .strength = reduction_strength::ltl_x});
+            expect_identical_spaces(sequential, parallel);
+        }
+    }
+}
+
+// -- The proviso itself, from scratch on random nets ------------------------
+
+TEST(ltlx_stubborn, proviso_holds_in_every_cyclic_scc)
+{
+    expect_proviso_holds(cycle_of_choices(),
+                         explore_state_space(cycle_of_choices(),
+                                             {.reduction = reduction_kind::stubborn,
+                                              .strength = reduction_strength::ltl_x}));
+
+    for (const pipeline::net_family family :
+         {pipeline::net_family::marked_graph, pipeline::net_family::free_choice,
+          pipeline::net_family::choice_heavy}) {
+        for (const int credit : {1, 2}) {
+            pipeline::generator_options options;
+            options.family = family;
+            options.sources = 2;
+            options.depth = 3;
+            options.token_load = 2;
+            options.defect_percent = 30;
+            options.source_credit = credit;
+            pipeline::net_generator generator(91, options);
+            for (int i = 0; i < 3; ++i) {
+                const petri_net net = generator.next();
+                SCOPED_TRACE(std::string("family ") + pipeline::to_string(family) +
+                             " credit " + std::to_string(credit) + " net " +
+                             std::to_string(i));
+                const state_space reduced = explore_state_space(
+                    net, {.max_states = 300000,
+                          .reduction = reduction_kind::stubborn,
+                          .strength = reduction_strength::ltl_x});
+                expect_proviso_holds(net, reduced);
+            }
+        }
+    }
+}
+
+TEST(ltlx_stubborn, explore_space_dispatch_carries_strength_and_observed)
+{
+    const petri_net net = cycle_of_choices();
+    reachability_options options;
+    options.reduction = reduction_kind::stubborn;
+    options.strength = reduction_strength::ltl_x;
+    const state_space sequential = explore_space(net, options);
+    expect_proviso_holds(net, sequential);
+    options.threads = 4;
+    expect_identical_spaces(sequential, explore_space(net, options));
+}
+
+} // namespace
+} // namespace fcqss::pn

@@ -65,11 +65,11 @@ def main() -> int:
     parser.add_argument(
         "--metric",
         default=(
-            r"(states/s|nets/s|nodes/s|nets/second|/second|speedup|throughput"
-            r"|reduction ratio)"
+            r"(states/s|nets/s|nodes/s|st/s|nets/second|/second|speedup|throughput"
+            r"|reduction ratio|ltlx ratio)"
         ),
         help="regex selecting the labels to track (default: throughput-ish rows, "
-        "plus the stubborn-reduction ratio)",
+        "plus the stubborn-reduction and ltl_x ratios)",
     )
     parser.add_argument(
         "--fail-below",
