@@ -9,6 +9,7 @@
 
 #include "codegen/c_emitter.hpp"
 #include "codegen/task_codegen.hpp"
+#include "obs/obs.hpp"
 #include "pipeline/net_generator.hpp"
 #include "pn/builder.hpp"
 #include "pn/coverability.hpp"
@@ -357,6 +358,80 @@ void report_coverability()
     }
 }
 
+// Telemetry overhead rows (this PR's tentpole): the same single-threaded
+// choice-heavy exploration with obs runtime-disabled (each instrumentation
+// site costs one predicted branch) vs enabled-but-idle (counters increment,
+// nobody snapshots).  CI gates on the overhead staying < 2%.  Compile-time
+// off (FCQSS_OBS_ENABLED=0) removes even the branch, so it is strictly
+// cheaper than the "off" column measured here.
+void report_obs_overhead()
+{
+    benchutil::heading("obs overhead: telemetry runtime-off vs enabled-but-idle");
+    std::printf("  %8s %12s %12s %10s\n", "states", "off st/s", "idle st/s",
+                "overhead");
+    const pn::petri_net net = generated_net(pipeline::net_family::choice_heavy, 500, 1);
+    pn::reachability_options options{.max_markings = 60000,
+                                     .max_tokens_per_place = 1 << 20};
+    options.threads = 1;
+    std::size_t states = 0;
+    obs::set_stats_enabled(false);
+    obs::set_tracing_enabled(false);
+    const double off = engine_states_per_second(net, options, 5, states);
+    obs::set_stats_enabled(true);
+    const double idle = engine_states_per_second(net, options, 5, states);
+    obs::set_stats_enabled(false);
+    obs::reset();
+    const double pct = off > 0 ? (off - idle) / off * 100.0 : 0.0;
+    std::printf("  %8zu %12.0f %12.0f %+9.2f%%\n", states, off, idle, pct);
+    benchutil::row("obs off st/s", std::to_string(static_cast<long long>(off)));
+    benchutil::row("obs idle st/s", std::to_string(static_cast<long long>(idle)));
+    char pct_text[32];
+    std::snprintf(pct_text, sizeof pct_text, "%.2f", pct);
+    benchutil::row("obs idle overhead pct", pct_text);
+}
+
+// Engine-internals rows from the obs counters: one ltl_x-reduced 4-thread
+// exploration of a choice-heavy net, then derived health metrics.  These
+// are informational for tools/bench_diff.py (--info-metric): probe rate can
+// legitimately move either way, so it must never trip --fail-below.
+void report_obs_counters()
+{
+    benchutil::heading("engine telemetry (obs counters, choice-heavy ltl_x run)");
+    const pn::petri_net net = generated_net(pipeline::net_family::choice_heavy, 500, 1);
+    pn::reachability_options options{.max_markings = 60000,
+                                     .max_tokens_per_place = 1 << 20};
+    options.threads = 4;
+    options.reduction = pn::reduction_kind::stubborn;
+    options.strength = pn::reduction_strength::ltl_x;
+    obs::reset();
+    obs::set_stats_enabled(true);
+    std::size_t states = 0;
+    engine_states_per_second(net, options, 1, states);
+    const double probes =
+        static_cast<double>(obs::get_counter("pn.store.hash_probes").value());
+    const double hits =
+        static_cast<double>(obs::get_counter("pn.store.dedup_hits").value());
+    const double inserts =
+        static_cast<double>(obs::get_counter("pn.store.inserts").value());
+    const double imbalance = obs::get_gauge("pn.par.shard_imbalance").value();
+    obs::set_stats_enabled(false);
+    obs::reset();
+    const double interns = std::max(1.0, hits + inserts);
+    const double probe_rate = probes / interns;
+    const double hit_rate = hits / interns;
+    std::printf("  %8s %12s %12s %14s\n", "states", "probe rate", "hit rate",
+                "shard imbal");
+    std::printf("  %8zu %12.3f %12.3f %14.3f\n", states, probe_rate, hit_rate,
+                imbalance);
+    char text[32];
+    std::snprintf(text, sizeof text, "%.3f", probe_rate);
+    benchutil::row("choice probe rate", text);
+    std::snprintf(text, sizeof text, "%.3f", hit_rate);
+    benchutil::row("choice dedup hit rate", text);
+    std::snprintf(text, sizeof text, "%.3f", imbalance);
+    benchutil::row("choice shard imbalance", text);
+}
+
 void report()
 {
     report_state_space_engine();
@@ -364,6 +439,8 @@ void report()
     report_stubborn_reduction();
     report_ltlx_reduction();
     report_coverability();
+    report_obs_overhead();
+    report_obs_counters();
 
     benchutil::heading("T-reduction count vs number of choices (exponential)");
     std::printf("  %8s %12s %12s\n", "choices", "allocations", "reductions");

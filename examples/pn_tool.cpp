@@ -7,6 +7,7 @@
 //   pn_tool dot      model.pn      emit graphviz
 //   pn_tool explore  [--threads N] [--max-states S] [--max-tokens K]
 //                    [--reduce none|stubborn|stubborn-ltlx]
+//                    [--stats[=FILE]] [--trace=FILE]
 //                    model.pn      explicit state-space exploration on the
 //                                  engine (N != 1 runs the sharded parallel
 //                                  engine; results are identical).  --reduce
@@ -16,9 +17,13 @@
 //                                  but the reachability set is partial.
 //                                  stubborn-ltlx adds the visibility and
 //                                  no-ignoring conditions, so liveness and
-//                                  stutter-invariant verdicts stay exact too
+//                                  stutter-invariant verdicts stay exact too.
+//                                  --stats dumps the engine counters as
+//                                  metrics JSONL (stdout, or FILE); --trace
+//                                  writes a Chrome trace of the run's phase
+//                                  spans, loadable in Perfetto
 //   pn_tool batch    [--jobs N] [--max-allocations A] [--no-codegen]
-//                    [--verbose] model.pn...
+//                    [--verbose] [--stats[=FILE]] [--trace=FILE] model.pn...
 //                                  run the full flow over many nets in
 //                                  parallel and print a batch report
 //   pn_tool generate [--seed S] [--count N] [--family fc|mg|choice]
@@ -40,6 +45,7 @@
 
 #include "codegen/c_emitter.hpp"
 #include "codegen/task_codegen.hpp"
+#include "obs/obs.hpp"
 #include "pipeline/net_generator.hpp"
 #include "pipeline/synthesis_pipeline.hpp"
 #include "pn/coverability.hpp"
@@ -134,9 +140,11 @@ int usage()
                  "       pn_tool explore [--threads N] [--max-states S]\n"
                  "                       [--max-tokens K]\n"
                  "                       [--reduce none|stubborn|stubborn-ltlx]\n"
+                 "                       [--stats[=FILE]] [--trace=FILE]\n"
                  "                       model.pn\n"
                  "       pn_tool batch [--jobs N] [--max-allocations A] [--no-codegen]\n"
-                 "                     [--verbose] model.pn...\n"
+                 "                     [--verbose] [--stats[=FILE]] [--trace=FILE]\n"
+                 "                     model.pn...\n"
                  "       pn_tool generate [--seed S] [--count N] "
                  "[--family fc|mg|choice]\n"
                  "                        [--sources K] [--depth D] [--tokens L]\n"
@@ -164,36 +172,165 @@ bool int_option(int argc, char** argv, int& i, const char* flag, long& out)
     return true;
 }
 
+/// One accepted spelling of an enumeration flag.
+template <typename E>
+struct enum_choice {
+    const char* spelling;
+    E value;
+};
+
+/// Parses "--flag value" style enumeration options against a fixed table of
+/// accepted spellings; advances `i` past the value.  Unknown values print
+/// every accepted spelling and exit 2, so all enum-ish flags fail the same
+/// way (same contract as int_option).
+template <typename E, std::size_t N>
+bool enum_option(int argc, char** argv, int& i, const char* flag,
+                 const enum_choice<E> (&choices)[N], E& out)
+{
+    if (std::strcmp(argv[i], flag) != 0) {
+        return false;
+    }
+    if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+    }
+    const char* text = argv[++i];
+    for (const enum_choice<E>& choice : choices) {
+        if (std::strcmp(choice.spelling, text) == 0) {
+            out = choice.value;
+            return true;
+        }
+    }
+    std::string accepted;
+    for (const enum_choice<E>& choice : choices) {
+        if (!accepted.empty()) {
+            accepted += ", ";
+        }
+        accepted += choice.spelling;
+    }
+    std::fprintf(stderr, "unknown %s value '%s': accepted values are %s\n", flag,
+                 text, accepted.c_str());
+    std::exit(2);
+}
+
+/// Matches "--flag" (bare) or "--flag=FILE".  `file` keeps the FILE part,
+/// empty for the bare form.
+bool output_option(const char* arg, const char* flag, bool& enabled,
+                   std::string& file)
+{
+    const std::size_t length = std::strlen(flag);
+    if (std::strncmp(arg, flag, length) != 0) {
+        return false;
+    }
+    if (arg[length] == '\0') {
+        enabled = true;
+        file.clear();
+        return true;
+    }
+    if (arg[length] == '=') {
+        enabled = true;
+        file = arg + length + 1;
+        return true;
+    }
+    return false;
+}
+
+int write_text_file(const std::string& path, const std::string& text)
+{
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return 1;
+    }
+    std::fwrite(text.data(), 1, text.size(), out);
+    std::fclose(out);
+    return 0;
+}
+
+/// Shared --stats[=FILE] / --trace=FILE handling: `enable()` right after
+/// argument parsing, `emit()` once the command's work is done.  The metrics
+/// JSONL goes to stdout unless --stats named a file; the Chrome trace always
+/// needs a file (it is a single large JSON object).
+struct telemetry_options {
+    bool stats = false;
+    std::string stats_file;
+    bool trace = false;
+    std::string trace_file;
+
+    bool parse(const char* arg)
+    {
+        return output_option(arg, "--stats", stats, stats_file) ||
+               output_option(arg, "--trace", trace, trace_file);
+    }
+
+    int enable() const
+    {
+        if (trace && trace_file.empty()) {
+            std::fprintf(stderr, "--trace needs a file: --trace=FILE\n");
+            return 2;
+        }
+        obs::set_stats_enabled(stats);
+        obs::set_tracing_enabled(trace);
+        return 0;
+    }
+
+    int emit() const
+    {
+        int failures = 0;
+        if (trace) {
+            obs::set_tracing_enabled(false);
+            failures += write_text_file(trace_file, obs::chrome_trace_json());
+        }
+        if (stats) {
+            const std::string jsonl = obs::metrics_jsonl();
+            if (stats_file.empty()) {
+                std::printf("%s", jsonl.c_str());
+            } else {
+                failures += write_text_file(stats_file, jsonl);
+            }
+        }
+        return failures ? 1 : 0;
+    }
+};
+
+/// The --reduce spellings, shared between the flag table and usage().
+enum class reduce_mode { none, stubborn, stubborn_ltlx };
+
+constexpr enum_choice<reduce_mode> reduce_choices[] = {
+    {"none", reduce_mode::none},
+    {"stubborn", reduce_mode::stubborn},
+    {"stubborn-ltlx", reduce_mode::stubborn_ltlx},
+};
+
+constexpr enum_choice<pipeline::net_family> family_choices[] = {
+    {"fc", pipeline::net_family::free_choice},
+    {"mg", pipeline::net_family::marked_graph},
+    {"choice", pipeline::net_family::choice_heavy},
+};
+
 int explore(int argc, char** argv)
 {
     pn::reachability_options options;
     options.threads = 1;
+    telemetry_options telemetry;
     std::string path;
     for (int i = 2; i < argc; ++i) {
         long value = 0;
+        reduce_mode mode = reduce_mode::none;
         if (int_option(argc, argv, i, "--threads", value)) {
             options.threads = value >= 0 ? static_cast<std::size_t>(value) : 1;
         } else if (int_option(argc, argv, i, "--max-states", value)) {
             options.max_markings = value > 0 ? static_cast<std::size_t>(value) : 1;
         } else if (int_option(argc, argv, i, "--max-tokens", value)) {
             options.max_tokens_per_place = value > 0 ? value : 1;
-        } else if (std::strcmp(argv[i], "--reduce") == 0 && i + 1 < argc) {
-            const std::string kind = argv[++i];
-            if (kind == "stubborn") {
-                options.reduction = pn::reduction_kind::stubborn;
-                options.strength = pn::reduction_strength::deadlock;
-            } else if (kind == "stubborn-ltlx") {
-                options.reduction = pn::reduction_kind::stubborn;
-                options.strength = pn::reduction_strength::ltl_x;
-            } else if (kind == "none") {
-                options.reduction = pn::reduction_kind::none;
-            } else {
-                std::fprintf(stderr,
-                             "unknown reduction '%s': accepted strengths are "
-                             "none, stubborn, stubborn-ltlx\n",
-                             kind.c_str());
-                return 2;
-            }
+        } else if (enum_option(argc, argv, i, "--reduce", reduce_choices, mode)) {
+            options.reduction = mode == reduce_mode::none
+                                    ? pn::reduction_kind::none
+                                    : pn::reduction_kind::stubborn;
+            options.strength = mode == reduce_mode::stubborn_ltlx
+                                   ? pn::reduction_strength::ltl_x
+                                   : pn::reduction_strength::deadlock;
+        } else if (telemetry.parse(argv[i])) {
         } else if (argv[i][0] == '-') {
             std::fprintf(stderr, "unknown explore option '%s'\n", argv[i]);
             return 2;
@@ -207,6 +344,9 @@ int explore(int argc, char** argv)
     if (path.empty()) {
         std::fprintf(stderr, "explore: no input file\n");
         return 2;
+    }
+    if (const int status = telemetry.enable()) {
+        return status;
     }
 
     const pn::petri_net net = pnio::load_net(path);
@@ -241,12 +381,13 @@ int explore(int argc, char** argv)
     std::printf("  max tokens in any place: %lld%s\n",
                 static_cast<long long>(max_bound),
                 reduced ? " (over the reduced fragment only)" : "");
-    return 0;
+    return telemetry.emit();
 }
 
 int batch(int argc, char** argv)
 {
     pipeline::pipeline_options options;
+    telemetry_options telemetry;
     bool verbose = false;
     std::vector<std::string> paths;
     for (int i = 2; i < argc; ++i) {
@@ -260,6 +401,7 @@ int batch(int argc, char** argv)
             options.generate_code = false;
         } else if (std::strcmp(argv[i], "--verbose") == 0) {
             verbose = true;
+        } else if (telemetry.parse(argv[i])) {
         } else if (argv[i][0] == '-') {
             std::fprintf(stderr, "unknown batch option '%s'\n", argv[i]);
             return 2;
@@ -270,6 +412,9 @@ int batch(int argc, char** argv)
     if (paths.empty()) {
         std::fprintf(stderr, "batch: no input files\n");
         return 2;
+    }
+    if (const int status = telemetry.enable()) {
+        return status;
     }
 
     const pipeline::synthesis_pipeline pipe(options);
@@ -296,6 +441,9 @@ int batch(int argc, char** argv)
                        r.status == pipeline::pipeline_status::failed;
     }
     std::printf("%s", report.summary().c_str());
+    if (const int status = telemetry.emit()) {
+        return status;
+    }
     return hard_failure ? 1 : 0;
 }
 
@@ -321,19 +469,8 @@ int generate(int argc, char** argv)
             options.defect_percent = static_cast<int>(value);
         } else if (int_option(argc, argv, i, "--credit", value)) {
             options.source_credit = static_cast<int>(value);
-        } else if (std::strcmp(argv[i], "--family") == 0 && i + 1 < argc) {
-            const std::string family = argv[++i];
-            if (family == "mg") {
-                options.family = pipeline::net_family::marked_graph;
-            } else if (family == "fc") {
-                options.family = pipeline::net_family::free_choice;
-            } else if (family == "choice") {
-                options.family = pipeline::net_family::choice_heavy;
-            } else {
-                std::fprintf(stderr, "unknown family '%s' (fc|mg|choice)\n",
-                             family.c_str());
-                return 2;
-            }
+        } else if (enum_option(argc, argv, i, "--family", family_choices,
+                               options.family)) {
         } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
             out_dir = argv[++i];
         } else {

@@ -1,6 +1,9 @@
 #include "exec/executor.hpp"
 
+#include <string>
 #include <utility>
+
+#include "obs/obs.hpp"
 
 namespace fcqss::exec {
 
@@ -18,7 +21,7 @@ executor::executor(std::size_t jobs) : queue_(2 * resolve_thread_count(jobs))
     const std::size_t n = resolve_thread_count(jobs);
     workers_.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
-        workers_.emplace_back([this] { worker_loop(); });
+        workers_.emplace_back([this, i] { worker_loop(i); });
     }
 }
 
@@ -27,10 +30,15 @@ executor::~executor()
     queue_.close();
 }
 
-void executor::worker_loop()
+void executor::worker_loop(std::size_t index)
 {
+    // Registered eagerly (cheap, dedup'd by name) so the add below is one
+    // guarded relaxed fetch_add per job — jobs are coarse, not per-state.
+    obs::counter& jobs_counter =
+        obs::get_counter("exec.worker." + std::to_string(index) + ".jobs");
     while (auto job = queue_.pop()) {
         (*job)();
+        jobs_counter.add(1);
     }
 }
 

@@ -48,7 +48,7 @@ public:
     void for_each_index(std::size_t count, const std::function<void(std::size_t)>& fn);
 
 private:
-    void worker_loop();
+    void worker_loop(std::size_t index);
 
     job_queue<std::function<void()>> queue_;
     std::mutex done_mutex_;

@@ -15,6 +15,8 @@
 #include <optional>
 #include <utility>
 
+#include "obs/obs.hpp"
+
 namespace fcqss::exec {
 
 template <typename T>
@@ -30,11 +32,21 @@ public:
     bool push(T value)
     {
         std::unique_lock lock(mutex_);
+        if (obs::stats_enabled() && items_.size() >= capacity_ && !closed_) {
+            // About to block on back-pressure.  Same-named counter across
+            // every instantiation: get_counter dedups by name.
+            static obs::counter& stalls = obs::get_counter("exec.queue.enqueue_stalls");
+            stalls.add(1);
+        }
         not_full_.wait(lock, [this] { return items_.size() < capacity_ || closed_; });
         if (closed_) {
             return false;
         }
         items_.push_back(std::move(value));
+        if (obs::stats_enabled()) {
+            static obs::gauge& depth_hwm = obs::get_gauge("exec.queue.depth_hwm", "jobs");
+            depth_hwm.set_max(static_cast<double>(items_.size()));
+        }
         lock.unlock();
         not_empty_.notify_one();
         return true;

@@ -5,10 +5,13 @@
 #include <optional>
 #include <utility>
 
+#include <array>
+
 #include "base/error.hpp"
 #include "base/strings.hpp"
 #include "codegen/c_emitter.hpp"
 #include "exec/executor.hpp"
+#include "obs/obs.hpp"
 #include "pn/invariants.hpp"
 #include "pn/structure.hpp"
 #include "pnio/parser.hpp"
@@ -155,25 +158,71 @@ namespace {
 
 using clock = std::chrono::steady_clock;
 
+/// Span names must be string literals (obs stores the pointer).
+const char* stage_span_name(pipeline_stage stage)
+{
+    switch (stage) {
+    case pipeline_stage::parse:
+        return "stage.parse";
+    case pipeline_stage::classify:
+        return "stage.classify";
+    case pipeline_stage::structural:
+        return "stage.structural";
+    case pipeline_stage::schedule:
+        return "stage.schedule";
+    case pipeline_stage::partition:
+        return "stage.partition";
+    case pipeline_stage::codegen:
+        return "stage.codegen";
+    }
+    return "stage.?";
+}
+
+/// Cumulative per-stage obs counters, resolved once (thread-safe static
+/// init) so every stage_timer destruction is one guarded add.
+obs::counter& stage_counter(pipeline_stage stage)
+{
+    static const std::array<obs::counter*, stage_count> counters = [] {
+        std::array<obs::counter*, stage_count> resolved{};
+        for (std::size_t i = 0; i < stage_count; ++i) {
+            resolved[i] = &obs::get_counter(
+                std::string("pipeline.stage.") +
+                    to_string(static_cast<pipeline_stage>(i)) + ".micros",
+                "us");
+        }
+        return resolved;
+    }();
+    return *counters[static_cast<std::size_t>(stage)];
+}
+
 /// Charges elapsed wall time to one stage of a result, including when the
 /// stage exits by throwing — a batch full of malformed inputs must still
-/// attribute its time to the parse stage.
+/// attribute its time to the parse stage.  The same interval feeds the
+/// result's timings (API, always), the pipeline.stage.* counters (stats) and
+/// one trace span (tracing), so all three sinks agree per stage.
 class stage_timer {
 public:
     stage_timer(pipeline_result& result, pipeline_stage stage)
-        : result_(result), stage_(stage), start_(clock::now())
+        : result_(result), stage_(stage), span_(stage_span_name(stage)),
+          start_(clock::now())
     {
     }
 
     ~stage_timer()
     {
-        result_.timings.micros[static_cast<std::size_t>(stage_)] +=
+        const double micros =
             std::chrono::duration<double, std::micro>(clock::now() - start_).count();
+        result_.timings.micros[static_cast<std::size_t>(stage_)] += micros;
+        if (obs::stats_enabled()) {
+            stage_counter(stage_).add(
+                micros > 0 ? static_cast<std::uint64_t>(micros) : 0);
+        }
     }
 
 private:
     pipeline_result& result_;
     pipeline_stage stage_;
+    obs::span span_;
     clock::time_point start_;
 };
 
@@ -299,6 +348,8 @@ pipeline_result synthesis_pipeline::run_one(const net_source& source) const
 
 batch_report synthesis_pipeline::run(const std::vector<net_source>& sources) const
 {
+    obs::span batch_span("pipeline.batch", "nets",
+                         static_cast<std::int64_t>(sources.size()));
     batch_report report;
     report.results.resize(sources.size());
 
@@ -313,6 +364,11 @@ batch_report synthesis_pipeline::run(const std::vector<net_source>& sources) con
     });
     report.wall_micros =
         std::chrono::duration<double, std::micro>(clock::now() - start).count();
+    if (obs::stats_enabled()) {
+        obs::get_counter("pipeline.nets").add(report.results.size());
+        obs::get_counter("pipeline.ok").add(report.count(pipeline_status::ok));
+    }
+    batch_span.arg("ok", static_cast<std::int64_t>(report.count(pipeline_status::ok)));
     return report;
 }
 

@@ -97,6 +97,7 @@ void marking_store::finish_bulk_build()
 
 void marking_store::rebuild_table(std::size_t capacity)
 {
+    ++stats_.resizes;
     table_.assign(capacity, invalid_state);
     table_mask_ = capacity - 1;
     for (state_id id = 0; id < static_cast<state_id>(size()); ++id) {

@@ -24,6 +24,18 @@ using state_id = std::uint32_t;
 /// Sentinel for "no such state".
 inline constexpr state_id invalid_state = static_cast<state_id>(-1);
 
+/// Running tallies of one store's dedup work, maintained unconditionally
+/// (plain increments on single-owner stores — the engines shard stores per
+/// thread, so no atomics are needed) and flushed into the global obs
+/// counters by the engines when telemetry is on.
+struct marking_store_stats {
+    std::uint64_t probes = 0;         ///< hash-table slots inspected by interns
+    std::uint64_t dedup_hits = 0;     ///< interns that found an existing marking
+    std::uint64_t inserts = 0;        ///< markings newly interned
+    std::uint64_t budget_rejects = 0; ///< interns refused by max_states
+    std::uint64_t resizes = 0;        ///< open-addressing table rebuilds
+};
+
 class marking_store {
 public:
     /// A store for markings of `width` places.
@@ -80,17 +92,21 @@ public:
     {
         std::size_t slot = hash & table_mask_;
         for (;; slot = (slot + 1) & table_mask_) {
+            ++stats_.probes;
             const state_id id = table_[slot];
             if (id == invalid_state) {
                 break;
             }
             if (hashes_[id] == hash && equals(tokens(id).data())) {
+                ++stats_.dedup_hits;
                 return {id, false};
             }
         }
         if (size() >= max_states) {
+            ++stats_.budget_rejects;
             return {invalid_state, false};
         }
+        ++stats_.inserts;
         const state_id id = static_cast<state_id>(size());
         if (id % states_per_chunk_ == 0) {
             chunks_.emplace_back(new std::int64_t[states_per_chunk_ * width_]);
@@ -164,6 +180,12 @@ public:
     /// Approximate arena + table footprint, for telemetry and benches.
     [[nodiscard]] std::size_t memory_bytes() const noexcept;
 
+    /// Arena chunks allocated so far.
+    [[nodiscard]] std::size_t chunk_count() const noexcept { return chunks_.size(); }
+
+    /// Dedup-work tallies since construction (see marking_store_stats).
+    [[nodiscard]] const marking_store_stats& stats() const noexcept { return stats_; }
+
 private:
     [[nodiscard]] bool equal_at(state_id id, const std::int64_t* tokens) const noexcept;
     void rebuild_table(std::size_t capacity);
@@ -179,6 +201,7 @@ private:
     /// capacity is a power of two, rebuilt from hashes_ on growth.
     std::vector<state_id> table_;
     std::size_t table_mask_ = 0;
+    marking_store_stats stats_{};
 };
 
 } // namespace fcqss::pn

@@ -4,9 +4,11 @@
 #include <cassert>
 #include <cstring>
 #include <optional>
+#include <string>
 #include <utility>
 
 #include "exec/executor.hpp"
+#include "obs/obs.hpp"
 
 // Determinism
 // -----------
@@ -191,9 +193,11 @@ void run_indexed(exec::executor& pool, std::size_t count, bool inline_run,
 state_space explore_parallel(const petri_net& net,
                              const parallel_explore_options& options)
 {
+    obs::span run_span("explore.parallel");
     const std::size_t width = net.place_count();
     const std::int64_t cap = options.max_tokens_per_place;
     const std::size_t threads = exec::resolve_thread_count(options.threads);
+    run_span.arg("threads", static_cast<std::int64_t>(threads));
 
     std::size_t shard_count = options.shards ? options.shards : 2 * threads;
     std::size_t shard_bits = 0;
@@ -285,6 +289,30 @@ state_space explore_parallel(const petri_net& net,
     std::vector<std::vector<transition_id>> next_enabled;
     std::vector<fresh_entry> kept; ///< this level's renumbered fresh states
 
+    // Telemetry tallies, accumulated in locals and flushed at level / run
+    // boundaries so the phase loops never touch an atomic (obs/obs.hpp).
+    // States and edges flush per level: a concurrent snapshot() sees them
+    // grow monotonically while the run is in flight.
+    std::uint64_t obs_phase_a_ns = 0;
+    std::uint64_t obs_phase_b_ns = 0;
+    std::uint64_t obs_phase_e_ns = 0;
+    std::uint64_t obs_levels = 0;
+    std::uint64_t obs_inline_levels = 0;
+    std::uint64_t obs_candidates = 0;
+    std::size_t obs_flushed_states = 0;
+    std::size_t obs_flushed_edges = 0;
+    const auto flush_progress = [&] {
+        if (!obs::stats_enabled()) {
+            return;
+        }
+        static obs::counter& states_counter = obs::get_counter("pn.explore.states");
+        static obs::counter& edges_counter = obs::get_counter("pn.explore.edges");
+        states_counter.add(result.store_.size() - obs_flushed_states);
+        edges_counter.add(result.edges_.size() - obs_flushed_edges);
+        obs_flushed_states = result.store_.size();
+        obs_flushed_edges = result.edges_.size();
+    };
+
     std::size_t level_begin = 0;
     std::size_t level_end = 1;
     while (level_begin < level_end) {
@@ -301,8 +329,15 @@ state_space explore_parallel(const petri_net& net,
         const std::size_t available =
             state_count >= options.max_states ? 0 : options.max_states - state_count;
 
+        ++obs_levels;
+        obs_inline_levels += inline_run ? 1 : 0;
+        const bool obs_timing = obs::stats_enabled();
+
         // Phase A: expand the frontier into per-(chunk, shard) outboxes.
+        const std::uint64_t obs_a_begin = obs_timing ? obs::now_ns() : 0;
         run_indexed(pool, chunk_count, inline_run, [&](std::size_t c) {
+            obs::span phase_span("phase.expand", "chunk",
+                                 static_cast<std::int64_t>(c));
             chunk_state& chunk = chunks[c];
             for (outbox& ob : chunk.to_shard) {
                 ob.cands.clear();
@@ -367,10 +402,21 @@ state_space explore_parallel(const petri_net& net,
                 }
                 chunk.ref_count.push_back(emitted);
             }
+            phase_span.arg("candidates",
+                           static_cast<std::int64_t>(chunk.refs.size()));
         });
+        if (obs_timing) {
+            obs_phase_a_ns += obs::now_ns() - obs_a_begin;
+            for (std::size_t c = 0; c < chunk_count; ++c) {
+                obs_candidates += chunks[c].refs.size();
+            }
+        }
 
         // Phase B: every shard drains its inboxes and resolves candidates.
+        const std::uint64_t obs_b_begin = obs_timing ? obs::now_ns() : 0;
         run_indexed(pool, shard_count, inline_run, [&](std::size_t s) {
+            obs::span phase_span("phase.dedup", "shard",
+                                 static_cast<std::int64_t>(s));
             shard_state& shard = shards[s];
             shard.fresh.clear();
             // Fresh markings past the budget remainder cannot be kept (the
@@ -419,7 +465,11 @@ state_space explore_parallel(const petri_net& net,
                     }
                 }
             }
+            phase_span.arg("fresh", static_cast<std::int64_t>(shard.fresh.size()));
         });
+        if (obs_timing) {
+            obs_phase_b_ns += obs::now_ns() - obs_b_begin;
+        }
 
         // Phase C: renumber this level's fresh markings in sequential
         // discovery order — a k-way merge of the shards' sorted fresh lists
@@ -476,10 +526,13 @@ state_space explore_parallel(const petri_net& net,
         // their enabled sets.
         next_enabled.assign(keep, {});
         result.store_.grow_bulk_build(state_count);
+        const std::uint64_t obs_e_begin = obs_timing ? obs::now_ns() : 0;
         if (keep != 0) {
             const std::size_t publish_chunks =
                 inline_run ? 1 : std::min(keep, max_chunks);
             run_indexed(pool, publish_chunks, inline_run, [&](std::size_t c) {
+                obs::span phase_span("phase.publish", "chunk",
+                                     static_cast<std::int64_t>(c));
                 const std::size_t begin = keep * c / publish_chunks;
                 const std::size_t end = keep * (c + 1) / publish_chunks;
                 for (std::size_t i = begin; i < end; ++i) {
@@ -498,6 +551,10 @@ state_space explore_parallel(const petri_net& net,
                 }
             });
         }
+        if (obs_timing) {
+            obs_phase_e_ns += obs::now_ns() - obs_e_begin;
+        }
+        flush_progress();
         cur_enabled.swap(next_enabled);
         level_begin = level_end;
         level_end = state_count;
@@ -507,6 +564,35 @@ state_space explore_parallel(const petri_net& net,
     // lookup table is left to build.
     result.store_.finish_bulk_build();
     result.truncated_ = truncated;
+
+    if (obs::stats_enabled()) {
+        obs::get_counter("pn.par.phase_a_ns", "ns").add(obs_phase_a_ns);
+        obs::get_counter("pn.par.phase_b_ns", "ns").add(obs_phase_b_ns);
+        obs::get_counter("pn.par.phase_e_ns", "ns").add(obs_phase_e_ns);
+        obs::get_counter("pn.explore.levels").add(obs_levels);
+        obs::get_counter("pn.explore.inline_levels").add(obs_inline_levels);
+        obs::get_counter("pn.par.candidates").add(obs_candidates);
+        std::size_t shard_total = 0;
+        std::size_t shard_max = 0;
+        for (std::size_t s = 0; s < shard_count; ++s) {
+            const std::size_t interned = shards[s].store.size();
+            shard_total += interned;
+            shard_max = std::max(shard_max, interned);
+            obs::get_counter("pn.par.shard." + std::to_string(s) + ".states")
+                .add(interned);
+            detail::flush_store_obs(shards[s].store);
+        }
+        // max-over-mean of the shard store sizes: 1.0 is a perfect hash
+        // split, k means the fullest shard holds k times its fair share.
+        const double mean = static_cast<double>(shard_total) /
+                            static_cast<double>(shard_count);
+        obs::get_gauge("pn.par.shard_imbalance", "ratio")
+            .set(mean == 0.0 ? 0.0 : static_cast<double>(shard_max) / mean);
+        if (truncated) {
+            obs::get_counter("pn.explore.truncations").add(1);
+        }
+    }
+
     if (stubborn && options.strength == reduction_strength::ltl_x) {
         // The base graph above is bit-identical to the sequential engine's,
         // and the fix-up is a deterministic sequential function of it, so
@@ -519,6 +605,9 @@ state_space explore_parallel(const petri_net& net,
                                      .strength = options.strength,
                                      .observed_places = options.observed_places});
     }
+    flush_progress();
+    detail::flush_store_obs(result.store_);
+    run_span.arg("states", static_cast<std::int64_t>(result.store_.size()));
     return result;
 }
 

@@ -5,10 +5,33 @@
 
 #include "graph/digraph.hpp"
 #include "graph/scc.hpp"
+#include "obs/obs.hpp"
 
 namespace fcqss::pn {
 
 namespace detail {
+
+void flush_store_obs(const marking_store& store)
+{
+    if (!obs::stats_enabled()) {
+        return;
+    }
+    static obs::counter& probes = obs::get_counter("pn.store.hash_probes");
+    static obs::counter& hits = obs::get_counter("pn.store.dedup_hits");
+    static obs::counter& inserts = obs::get_counter("pn.store.inserts");
+    static obs::counter& rejects = obs::get_counter("pn.store.budget_rejects");
+    static obs::counter& resizes = obs::get_counter("pn.store.table_resizes");
+    static obs::counter& arena = obs::get_counter("pn.store.arena_bytes", "bytes");
+    static obs::counter& chunks = obs::get_counter("pn.store.chunks");
+    const marking_store_stats& s = store.stats();
+    probes.add(s.probes);
+    hits.add(s.dedup_hits);
+    inserts.add(s.inserts);
+    rejects.add(s.budget_rejects);
+    resizes.add(s.resizes);
+    arena.add(store.memory_bytes());
+    chunks.add(store.chunk_count());
+}
 
 bool enabled_in(const petri_net& net, const std::int64_t* tokens, transition_id t)
 {
@@ -81,6 +104,9 @@ void merge_enabled(const petri_net& net,
 void enforce_nonignoring(const petri_net& net, const stubborn_reduction& reduction,
                          state_space& space, const state_space_options& options)
 {
+    obs::span pass_span("explore.nonignoring");
+    std::uint64_t obs_rounds = 0;
+    std::uint64_t obs_reexpansions = 0;
     const std::size_t width = net.place_count();
     const std::int64_t cap = options.max_tokens_per_place;
     marking_store& store = space.store_;
@@ -177,6 +203,7 @@ void enforce_nonignoring(const petri_net& net, const stubborn_reduction& reducti
 
     std::vector<std::uint8_t> fired(net.transition_count(), 0);
     for (;;) {
+        ++obs_rounds;
         const std::size_t states = materialized ? rows.size() : space.state_count();
         graph::digraph state_graph(states);
         for (state_id s = 0; s < static_cast<state_id>(states); ++s) {
@@ -234,6 +261,7 @@ void enforce_nonignoring(const petri_net& net, const stubborn_reduction& reducti
         if (offenders.empty()) {
             break;
         }
+        obs_reexpansions += offenders.size();
         if (!materialized) {
             rows.resize(space.state_count());
             for (state_id s = 0; s < static_cast<state_id>(rows.size()); ++s) {
@@ -262,6 +290,15 @@ void enforce_nonignoring(const petri_net& net, const stubborn_reduction& reducti
         expand_tail();
     }
 
+    if (obs::stats_enabled()) {
+        static obs::counter& rounds = obs::get_counter("pn.ltlx.rounds");
+        static obs::counter& reexpansions = obs::get_counter("pn.ltlx.reexpansions");
+        rounds.add(obs_rounds);
+        reexpansions.add(obs_reexpansions);
+    }
+    pass_span.arg("rounds", static_cast<std::int64_t>(obs_rounds));
+    pass_span.arg("reexpansions", static_cast<std::int64_t>(obs_reexpansions));
+
     if (!materialized) {
         return; // nothing was ever ignored: the engine's CSR stands as-is
     }
@@ -284,11 +321,29 @@ marking state_space::marking_of(state_id s) const
 
 state_space explore_state_space(const petri_net& net, const state_space_options& options)
 {
+    obs::span run_span("explore.seq");
     const std::size_t width = net.place_count();
     const std::int64_t cap = options.max_tokens_per_place;
 
     state_space result;
     result.store_ = marking_store(width);
+
+    // Progress counters are flushed as deltas every few thousand expansions
+    // (and once at the end), so a concurrent snapshot() sees them grow
+    // monotonically without the expansion loop paying per-state atomics.
+    std::size_t flushed_states = 0;
+    std::size_t flushed_edges = 0;
+    const auto flush_progress = [&] {
+        if (!obs::stats_enabled()) {
+            return;
+        }
+        static obs::counter& states_counter = obs::get_counter("pn.explore.states");
+        static obs::counter& edges_counter = obs::get_counter("pn.explore.edges");
+        states_counter.add(result.store_.size() - flushed_states);
+        edges_counter.add(result.edges_.size() - flushed_edges);
+        flushed_states = result.store_.size();
+        flushed_edges = result.edges_.size();
+    };
 
     const std::vector<std::vector<transition_id>> affected =
         detail::affected_transitions(net);
@@ -404,10 +459,21 @@ state_space explore_state_space(const petri_net& net, const state_space_options&
             }
         }
         result.edge_offsets_.push_back(result.edges_.size());
+        if ((s & 0x1fff) == 0x1fff) {
+            flush_progress();
+        }
     }
     if (stubborn && options.strength == reduction_strength::ltl_x) {
+        flush_progress();
         detail::enforce_nonignoring(net, *stubborn, result, options);
     }
+    flush_progress();
+    detail::flush_store_obs(result.store_);
+    if (result.truncated_ && obs::stats_enabled()) {
+        obs::get_counter("pn.explore.truncations").add(1);
+    }
+    run_span.arg("states", static_cast<std::int64_t>(result.store_.size()));
+    run_span.arg("edges", static_cast<std::int64_t>(result.edges_.size()));
     return result;
 }
 

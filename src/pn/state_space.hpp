@@ -80,6 +80,13 @@ void merge_enabled(const petri_net& net, const std::vector<transition_id>& paren
 void enforce_nonignoring(const petri_net& net, const stubborn_reduction& reduction,
                          state_space& space, const state_space_options& options);
 
+/// Adds one store's dedup-work tallies (probes, dedup hits, inserts, budget
+/// rejects, table resizes, arena footprint, chunk count) to the global
+/// pn.store.* obs counters.  No-op when stats are off.  Both engines call
+/// this once per store at the end of a run — the stores themselves count
+/// with plain members so the hot probe loop never touches an atomic.
+void flush_store_obs(const marking_store& store);
+
 } // namespace detail
 
 /// One outgoing edge of a state: the transition fired and the successor.

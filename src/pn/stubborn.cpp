@@ -3,7 +3,29 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/obs.hpp"
+
 namespace fcqss::pn {
+
+namespace {
+
+/// One flush per reduce() call: the seed loop itself stays counter-free.
+void flush_reduce_obs(std::size_t enabled, std::size_t reduced, std::size_t trials)
+{
+    static obs::counter& calls = obs::get_counter("pn.stubborn.reduce_calls");
+    static obs::counter& seed_trials = obs::get_counter("pn.stubborn.seed_trials");
+    static obs::counter& enabled_sum = obs::get_counter("pn.stubborn.enabled_sum");
+    static obs::counter& reduced_sum = obs::get_counter("pn.stubborn.reduced_sum");
+    static obs::histogram& closure_size =
+        obs::get_histogram("pn.stubborn.closure_size", "transitions");
+    calls.add(1);
+    seed_trials.add(trials);
+    enabled_sum.add(enabled);
+    reduced_sum.add(reduced);
+    closure_size.record(reduced);
+}
+
+} // namespace
 
 stubborn_reduction::stubborn_reduction(const petri_net& net, stubborn_options options)
     : net_(&net), strength_(options.strength)
@@ -139,6 +161,9 @@ void stubborn_reduction::reduce(const std::int64_t* tokens,
     out.clear();
     if (enabled.size() <= 1) {
         out = enabled;
+        if (obs::stats_enabled()) {
+            flush_reduce_obs(enabled.size(), out.size(), 0);
+        }
         return;
     }
     const std::size_t transition_count = net_->transition_count();
@@ -174,11 +199,13 @@ void stubborn_reduction::reduce(const std::int64_t* tokens,
     // stop the moment one appears.  Because every seed is enabled, every
     // chosen set has an enabled key transition by construction.
     std::size_t best_count = enabled.size();
+    std::size_t obs_trials = 0;
     ws.best.clear();
     for (const transition_id seed : enabled) {
         if (restrict_to_invisible && visible(seed)) {
             continue;
         }
+        ++obs_trials;
         const std::size_t count = closure(tokens, seed, best_count, ws);
         if (count < best_count) {
             best_count = count;
@@ -204,6 +231,9 @@ void stubborn_reduction::reduce(const std::int64_t* tokens,
         out = enabled; // no seed improved on the full set
     } else {
         out = ws.best;
+    }
+    if (obs::stats_enabled()) {
+        flush_reduce_obs(enabled.size(), out.size(), obs_trials);
     }
 }
 

@@ -17,6 +17,13 @@ which makes the script usable both as a local trajectory viewer::
 and as a CI regression tripwire alongside the hard speedup gates::
 
     tools/bench_diff.py old.json new.json --fail-below 30
+
+Rows present in only one artifact are reported informationally (added /
+removed) and never fail the run: benches grow and retire rows across PRs,
+and a diff spanning such a change must still compare what it can.  A second
+label class, --info-metric (engine-health rows like probe rate or the obs
+idle overhead), is displayed with deltas but exempt from --fail-below —
+those metrics legitimately move both ways, so a drop is not a regression.
 """
 
 from __future__ import annotations
@@ -72,6 +79,13 @@ def main() -> int:
         "plus the stubborn-reduction and ltl_x ratios)",
     )
     parser.add_argument(
+        "--info-metric",
+        default=r"(probe rate|shard imbalance|overhead pct|dedup hit rate)",
+        metavar="REGEX",
+        help="regex selecting labels shown with deltas but exempt from "
+        "--fail-below (default: the obs engine-health rows); empty disables",
+    )
+    parser.add_argument(
         "--fail-below",
         type=float,
         metavar="PCT",
@@ -80,32 +94,56 @@ def main() -> int:
     args = parser.parse_args()
 
     metric = re.compile(args.metric)
+    info = re.compile(args.info_metric) if args.info_metric else None
+
+    def classify(label: str) -> str | None:
+        """'info' beats 'tracked': health rows stay exempt even when they
+        also look like throughput (e.g. "obs idle overhead pct")."""
+        if info is not None and info.search(label):
+            return "info"
+        if metric.search(label):
+            return "tracked"
+        return None
+
     old_rows = load_rows(args.old)
     new_rows = load_rows(args.new)
 
-    tracked = sorted(
-        key for key in (old_rows.keys() & new_rows.keys()) if metric.search(key[1])
+    common = sorted(
+        key for key in (old_rows.keys() & new_rows.keys()) if classify(key[1])
     )
-    if not tracked:
-        print("bench_diff: no common tracked metrics between the two artifacts")
+    added = sorted(
+        key for key in (new_rows.keys() - old_rows.keys()) if classify(key[1])
+    )
+    removed = sorted(
+        key for key in (old_rows.keys() - new_rows.keys()) if classify(key[1])
+    )
+    if not common and not added and not removed:
+        print("bench_diff: no tracked metrics in either artifact")
         return 0
 
-    width = max(len(label) for _, label in tracked)
+    width = max(len(label) for _, label in common + added + removed)
+    width = max(width, len("metric"))
     regressions: list[tuple[str, float]] = []
     print(f"{'metric':<{width}} {'old':>14} {'new':>14} {'delta':>9}")
-    for bench, label in tracked:
+    for bench, label in common:
         old = old_rows[(bench, label)]
         new = new_rows[(bench, label)]
         delta = (new - old) / old * 100.0 if old != 0 else float("inf")
-        print(f"{label:<{width}} {old:>14.2f} {new:>14.2f} {delta:>+8.1f}%")
-        if args.fail_below is not None and delta < -args.fail_below:
+        suffix = "   (info)" if classify(label) == "info" else ""
+        print(f"{label:<{width}} {old:>14.2f} {new:>14.2f} {delta:>+8.1f}%{suffix}")
+        if (
+            classify(label) == "tracked"
+            and args.fail_below is not None
+            and delta < -args.fail_below
+        ):
             regressions.append((label, delta))
 
-    new_only = sorted(
-        key for key in (new_rows.keys() - old_rows.keys()) if metric.search(key[1])
-    )
-    for bench, label in new_only:
-        print(f"{label:<{width}} {'-':>14} {new_rows[(bench, label)]:>14.2f}      new")
+    # One-sided rows are informational: a freshly added or just-retired row
+    # has no trajectory to judge, so it can never fail the run.
+    for bench, label in added:
+        print(f"{label:<{width}} {'-':>14} {new_rows[(bench, label)]:>14.2f}    added")
+    for bench, label in removed:
+        print(f"{label:<{width}} {old_rows[(bench, label)]:>14.2f} {'-':>14}  removed")
 
     if regressions:
         print()
