@@ -1,0 +1,235 @@
+// Service throughput under a bursty, hot-key-skewed request trace — the
+// workload the resident server exists for.  A fixed trace of synthesis
+// requests is drawn from a pool of distinct nets with a deliberately hot
+// subset (a few nets receive most of the traffic, as happens when many
+// clients re-submit the same design), then driven through
+// pipeline::service in bursts.  Reported against the one-shot batch
+// pipeline over the identical trace, which re-synthesizes every duplicate
+// from scratch — the dedupe table is the service's whole advantage.
+//
+// Rows: requests/s (tracked), speedup vs the one-shot batch (tracked),
+// dedupe hit rate and p50/p99 latency (informational).
+#include "bench_util.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pipeline/net_generator.hpp"
+#include "pipeline/service.hpp"
+#include "pipeline/synthesis_pipeline.hpp"
+#include "pnio/writer.hpp"
+
+namespace {
+
+using namespace fcqss;
+using clock_type = std::chrono::steady_clock;
+
+constexpr std::size_t distinct_nets = 24;
+constexpr std::size_t hot_nets = 4;       // the skew target
+constexpr std::size_t hot_percent = 70;   // share of requests hitting them
+constexpr std::size_t trace_length = 400;
+constexpr std::size_t burst_size = 32;
+
+/// xorshift* PRNG — deterministic trace, no std::random_device.
+std::uint64_t next_random(std::uint64_t& state)
+{
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return state * 0x2545f4914f6cdd1dULL;
+}
+
+std::vector<std::string> make_net_pool()
+{
+    pipeline::generator_options options;
+    options.depth = 3;
+    pipeline::net_generator generator(2024, options);
+    std::vector<std::string> pool;
+    pool.reserve(distinct_nets);
+    for (std::size_t i = 0; i < distinct_nets; ++i) {
+        pool.push_back(pnio::write_net(generator.next()));
+    }
+    return pool;
+}
+
+/// The request trace: indices into the pool, hot-key skewed.
+std::vector<std::size_t> make_trace(std::size_t length)
+{
+    std::uint64_t state = 0x51ce5ca17ed1ceULL;
+    std::vector<std::size_t> trace;
+    trace.reserve(length);
+    for (std::size_t i = 0; i < length; ++i) {
+        if (next_random(state) % 100 < hot_percent) {
+            trace.push_back(next_random(state) % hot_nets);
+        } else {
+            trace.push_back(hot_nets + next_random(state) % (distinct_nets - hot_nets));
+        }
+    }
+    return trace;
+}
+
+struct trace_outcome {
+    double wall_seconds = 0;
+    double dedupe_ratio = 0;
+    double p50_ms = 0;
+    double p99_ms = 0;
+    std::uint64_t retries = 0;
+};
+
+/// Drives the trace through a service in bursts; on backpressure the
+/// producer retries (counting every rejection) instead of blocking.
+trace_outcome drive_service(const std::vector<std::string>& pool,
+                            const std::vector<std::size_t>& trace)
+{
+    pipeline::service_options options;
+    options.max_queue = 64; // small enough that bursts can actually overflow
+    pipeline::service service(options);
+
+    std::mutex latency_mutex;
+    std::vector<double> latencies_ms;
+    latencies_ms.reserve(trace.size());
+
+    trace_outcome outcome;
+    const auto start = clock_type::now();
+    std::size_t in_burst = 0;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const auto submitted_at = clock_type::now();
+        const auto on_reply = [&latency_mutex, &latencies_ms,
+                               submitted_at](const pipeline::synthesis_reply&) {
+            const double ms = std::chrono::duration<double, std::milli>(
+                                  clock_type::now() - submitted_at)
+                                  .count();
+            std::lock_guard lock(latency_mutex);
+            latencies_ms.push_back(ms);
+        };
+        pipeline::net_source source = pipeline::net_source::from_text(
+            "req" + std::to_string(i), pool[trace[i]]);
+        while (service.submit(source, on_reply).status !=
+               pipeline::submit_status::accepted) {
+            ++outcome.retries; // explicit backpressure: retry, never block
+            std::this_thread::yield();
+        }
+        if (++in_burst == burst_size) {
+            in_burst = 0;
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+    }
+    service.drain();
+    outcome.wall_seconds =
+        std::chrono::duration<double>(clock_type::now() - start).count();
+
+    const pipeline::service::stats_snapshot stats = service.stats();
+    outcome.dedupe_ratio =
+        static_cast<double>(stats.cache_hits + stats.inflight_hits) /
+        static_cast<double>(stats.replied);
+
+    std::sort(latencies_ms.begin(), latencies_ms.end());
+    if (!latencies_ms.empty()) {
+        outcome.p50_ms = latencies_ms[latencies_ms.size() / 2];
+        outcome.p99_ms = latencies_ms[latencies_ms.size() * 99 / 100];
+    }
+    return outcome;
+}
+
+/// The same trace through the one-shot batch pipeline: every duplicate is
+/// synthesized again, the baseline the service's dedupe is measured against.
+double drive_batch(const std::vector<std::string>& pool,
+                   const std::vector<std::size_t>& trace)
+{
+    std::vector<pipeline::net_source> sources;
+    sources.reserve(trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        sources.push_back(pipeline::net_source::from_text(
+            "req" + std::to_string(i), pool[trace[i]]));
+    }
+    const pipeline::synthesis_pipeline pipe{pipeline::pipeline_options{}};
+    const auto start = clock_type::now();
+    const pipeline::batch_report report = pipe.run(sources);
+    const double seconds =
+        std::chrono::duration<double>(clock_type::now() - start).count();
+    return seconds + (report.results.empty() ? 1.0 : 0.0);
+}
+
+void report()
+{
+    using benchutil::heading;
+    using benchutil::row;
+
+    const std::vector<std::string> pool = make_net_pool();
+    const std::vector<std::size_t> trace = make_trace(trace_length);
+
+    heading("service: bursty trace, hot-key skew");
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%zu over %zu nets (%zu hot)",
+                  trace.size(), distinct_nets, hot_nets);
+    row("requests", buffer);
+
+    const trace_outcome outcome = drive_service(pool, trace);
+    const double batch_seconds = drive_batch(pool, trace);
+
+    std::snprintf(buffer, sizeof buffer, "%.0f",
+                  static_cast<double>(trace.size()) / outcome.wall_seconds);
+    row("service requests/s", buffer);
+    std::snprintf(buffer, sizeof buffer, "%.2f",
+                  batch_seconds / outcome.wall_seconds);
+    row("service speedup vs one-shot batch", buffer);
+    std::snprintf(buffer, sizeof buffer, "%.3f", outcome.dedupe_ratio);
+    row("dedupe hit rate", buffer);
+    std::snprintf(buffer, sizeof buffer, "%.3f", outcome.p50_ms);
+    row("request p50 latency ms", buffer);
+    std::snprintf(buffer, sizeof buffer, "%.3f", outcome.p99_ms);
+    row("request p99 latency ms", buffer);
+    std::snprintf(buffer, sizeof buffer, "%llu",
+                  static_cast<unsigned long long>(outcome.retries));
+    row("backpressure retries", buffer);
+}
+
+/// Round-trip latency of one request through the resident service
+/// (submit -> synthesize -> reply), dedupe disabled by unique names.
+void BM_service_round_trip(benchmark::State& state)
+{
+    pipeline::generator_options options;
+    options.depth = 3;
+    pipeline::net_generator generator(7, options);
+    const std::string text = pnio::write_net(generator.next());
+
+    pipeline::service_options service_options;
+    service_options.jobs = 1;
+    service_options.result_cache = 0; // measure synthesis, not the cache
+    pipeline::service service(service_options);
+
+    std::mutex mutex;
+    std::condition_variable done;
+    bool replied = false;
+    for (auto _ : state) {
+        {
+            std::lock_guard lock(mutex);
+            replied = false;
+        }
+        const auto submitted = service.submit(
+            pipeline::net_source::from_text("bench", text),
+            [&](const pipeline::synthesis_reply&) {
+                std::lock_guard lock(mutex);
+                replied = true;
+                done.notify_one();
+            });
+        if (submitted.status != pipeline::submit_status::accepted) {
+            state.SkipWithError("submission rejected");
+            break;
+        }
+        std::unique_lock lock(mutex);
+        done.wait(lock, [&] { return replied; });
+    }
+    service.drain();
+}
+BENCHMARK(BM_service_round_trip)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+FCQSS_BENCH_MAIN(report)

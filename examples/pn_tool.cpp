@@ -32,6 +32,21 @@
 //                    --out DIR     write random workload nets as .pn files
 //                                  (--credit C bounds each source to C
 //                                  firings via a seeded credit place)
+//   pn_tool serve    [--jobs N] [--queue N] [--cache N]
+//                    [--max-allocations A] [--no-codegen] [--no-code]
+//                    [--max-input-bytes B] [--tcp PORT]
+//                    [--stats[=FILE]] [--trace=FILE]
+//                                  resident synthesis service speaking
+//                                  line-delimited JSON on stdin/stdout
+//                                  (or a loopback TCP port with --tcp);
+//                                  see src/svc/protocol.hpp for the wire
+//                                  protocol and README for a session
+//
+// Exit codes: single-net commands (analyze/schedule/report/codegen/dot)
+// exit with the stable pipeline wire code of their outcome — 0 ok,
+// 4 parse_failed, 6 not_free_choice, 7 not_schedulable, ... — the same
+// numbers the service protocol sends as "code" (see pipeline::wire_code).
+// Usage problems exit 2 everywhere; batch keeps its aggregate 0/1 contract.
 //
 // Example model files can be produced with pnio::save_net, written by hand
 // (see the grammar in src/pnio/lexer.hpp), or generated with `generate`.
@@ -43,10 +58,14 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
+#include "apps/cli/cli.hpp"
 #include "codegen/c_emitter.hpp"
 #include "codegen/task_codegen.hpp"
 #include "obs/obs.hpp"
 #include "pipeline/net_generator.hpp"
+#include "pipeline/service.hpp"
 #include "pipeline/synthesis_pipeline.hpp"
 #include "pn/coverability.hpp"
 #include "pn/invariants.hpp"
@@ -60,12 +79,15 @@
 #include "qss/scheduler.hpp"
 #include "qss/task_partition.hpp"
 #include "qss/valid_schedule.hpp"
+#include "svc/server.hpp"
 
 namespace {
 
 using namespace fcqss;
 
-int analyze(const pn::petri_net& net)
+// ------------------------------------------------------------ single-net --
+
+int analyze_net(const pn::petri_net& net)
 {
     const pn::net_statistics stats = pn::statistics(net);
     std::printf("net '%s': %zu places, %zu transitions, %zu arcs\n", net.name().c_str(),
@@ -96,12 +118,12 @@ int analyze(const pn::petri_net& net)
     return 0;
 }
 
-int schedule(const pn::petri_net& net)
+int schedule_net(const pn::petri_net& net)
 {
     const qss::qss_result result = qss::quasi_static_schedule(net);
     if (!result.schedulable) {
         std::printf("NOT quasi-statically schedulable.\n%s\n", result.diagnosis.c_str());
-        return 1;
+        return pipeline::wire_code(pipeline::pipeline_status::not_schedulable);
     }
     std::printf("quasi-statically schedulable: %zu finite complete cycles\n",
                 result.entries.size());
@@ -119,12 +141,12 @@ int schedule(const pn::petri_net& net)
     return 0;
 }
 
-int codegen(const pn::petri_net& net)
+int codegen_net(const pn::petri_net& net)
 {
     const qss::qss_result result = qss::quasi_static_schedule(net);
     if (!result.schedulable) {
         std::fprintf(stderr, "not schedulable: %s\n", result.diagnosis.c_str());
-        return 1;
+        return pipeline::wire_code(pipeline::pipeline_status::not_schedulable);
     }
     const qss::task_partition partition = qss::partition_tasks(net, result);
     const cgen::generated_program program =
@@ -133,197 +155,92 @@ int codegen(const pn::petri_net& net)
     return 0;
 }
 
-int usage()
+/// Runs one `cmd model.pn` command; failures exit with the status's wire
+/// code (so `pn_tool schedule bad.pn; echo $?` and a service "code" field
+/// agree about what happened).
+int run_single(int argc, char** argv, int (*handler)(const pn::petri_net&))
 {
-    std::fprintf(stderr,
-                 "usage: pn_tool {analyze|schedule|report|codegen|dot} model.pn\n"
-                 "       pn_tool explore [--threads N] [--max-states S]\n"
-                 "                       [--max-tokens K]\n"
-                 "                       [--reduce none|stubborn|stubborn-ltlx]\n"
-                 "                       [--stats[=FILE]] [--trace=FILE]\n"
-                 "                       model.pn\n"
-                 "       pn_tool batch [--jobs N] [--max-allocations A] [--no-codegen]\n"
-                 "                     [--verbose] [--stats[=FILE]] [--trace=FILE]\n"
-                 "                     model.pn...\n"
-                 "       pn_tool generate [--seed S] [--count N] "
-                 "[--family fc|mg|choice]\n"
-                 "                        [--sources K] [--depth D] [--tokens L]\n"
-                 "                        [--defects P] [--credit C] --out DIR\n");
-    return 2;
+    if (argc != 3) {
+        std::fprintf(stderr, "%s takes exactly one model file\n", argv[1]);
+        return 2;
+    }
+    try {
+        const pn::petri_net net = pnio::load_net(argv[2]);
+        return handler(net);
+    } catch (...) {
+        std::string diagnosis;
+        const pipeline::pipeline_status status =
+            pipeline::status_of_current_exception(diagnosis);
+        std::fprintf(stderr, "error (%s): %s\n", pipeline::to_string(status),
+                     diagnosis.c_str());
+        return pipeline::wire_code(status);
+    }
 }
 
-/// Parses "--flag N" style integer options; advances `i` past the value.
-bool int_option(int argc, char** argv, int& i, const char* flag, long& out)
+int cmd_analyze(int argc, char** argv)
 {
-    if (std::strcmp(argv[i], flag) != 0) {
-        return false;
-    }
-    if (i + 1 >= argc) {
-        std::fprintf(stderr, "%s needs a value\n", flag);
-        std::exit(2);
-    }
-    const char* text = argv[++i];
-    char* end = nullptr;
-    out = std::strtol(text, &end, 10);
-    if (end == text || *end != '\0') {
-        std::fprintf(stderr, "%s needs an integer, got '%s'\n", flag, text);
-        std::exit(2);
-    }
-    return true;
+    return run_single(argc, argv, analyze_net);
 }
 
-/// One accepted spelling of an enumeration flag.
-template <typename E>
-struct enum_choice {
-    const char* spelling;
-    E value;
-};
-
-/// Parses "--flag value" style enumeration options against a fixed table of
-/// accepted spellings; advances `i` past the value.  Unknown values print
-/// every accepted spelling and exit 2, so all enum-ish flags fail the same
-/// way (same contract as int_option).
-template <typename E, std::size_t N>
-bool enum_option(int argc, char** argv, int& i, const char* flag,
-                 const enum_choice<E> (&choices)[N], E& out)
+int cmd_schedule(int argc, char** argv)
 {
-    if (std::strcmp(argv[i], flag) != 0) {
-        return false;
-    }
-    if (i + 1 >= argc) {
-        std::fprintf(stderr, "%s needs a value\n", flag);
-        std::exit(2);
-    }
-    const char* text = argv[++i];
-    for (const enum_choice<E>& choice : choices) {
-        if (std::strcmp(choice.spelling, text) == 0) {
-            out = choice.value;
-            return true;
-        }
-    }
-    std::string accepted;
-    for (const enum_choice<E>& choice : choices) {
-        if (!accepted.empty()) {
-            accepted += ", ";
-        }
-        accepted += choice.spelling;
-    }
-    std::fprintf(stderr, "unknown %s value '%s': accepted values are %s\n", flag,
-                 text, accepted.c_str());
-    std::exit(2);
+    return run_single(argc, argv, schedule_net);
 }
 
-/// Matches "--flag" (bare) or "--flag=FILE".  `file` keeps the FILE part,
-/// empty for the bare form.
-bool output_option(const char* arg, const char* flag, bool& enabled,
-                   std::string& file)
+int cmd_report(int argc, char** argv)
 {
-    const std::size_t length = std::strlen(flag);
-    if (std::strncmp(arg, flag, length) != 0) {
-        return false;
-    }
-    if (arg[length] == '\0') {
-        enabled = true;
-        file.clear();
-        return true;
-    }
-    if (arg[length] == '=') {
-        enabled = true;
-        file = arg + length + 1;
-        return true;
-    }
-    return false;
-}
-
-int write_text_file(const std::string& path, const std::string& text)
-{
-    std::FILE* out = std::fopen(path.c_str(), "w");
-    if (out == nullptr) {
-        std::fprintf(stderr, "cannot write %s\n", path.c_str());
-        return 1;
-    }
-    std::fwrite(text.data(), 1, text.size(), out);
-    std::fclose(out);
-    return 0;
-}
-
-/// Shared --stats[=FILE] / --trace=FILE handling: `enable()` right after
-/// argument parsing, `emit()` once the command's work is done.  The metrics
-/// JSONL goes to stdout unless --stats named a file; the Chrome trace always
-/// needs a file (it is a single large JSON object).
-struct telemetry_options {
-    bool stats = false;
-    std::string stats_file;
-    bool trace = false;
-    std::string trace_file;
-
-    bool parse(const char* arg)
-    {
-        return output_option(arg, "--stats", stats, stats_file) ||
-               output_option(arg, "--trace", trace, trace_file);
-    }
-
-    int enable() const
-    {
-        if (trace && trace_file.empty()) {
-            std::fprintf(stderr, "--trace needs a file: --trace=FILE\n");
-            return 2;
-        }
-        obs::set_stats_enabled(stats);
-        obs::set_tracing_enabled(trace);
+    return run_single(argc, argv, [](const pn::petri_net& net) {
+        std::printf("%s", qss::synthesis_report(net).c_str());
         return 0;
-    }
+    });
+}
 
-    int emit() const
-    {
-        int failures = 0;
-        if (trace) {
-            obs::set_tracing_enabled(false);
-            failures += write_text_file(trace_file, obs::chrome_trace_json());
-        }
-        if (stats) {
-            const std::string jsonl = obs::metrics_jsonl();
-            if (stats_file.empty()) {
-                std::printf("%s", jsonl.c_str());
-            } else {
-                failures += write_text_file(stats_file, jsonl);
-            }
-        }
-        return failures ? 1 : 0;
-    }
-};
+int cmd_codegen(int argc, char** argv)
+{
+    return run_single(argc, argv, codegen_net);
+}
 
-/// The --reduce spellings, shared between the flag table and usage().
+int cmd_dot(int argc, char** argv)
+{
+    return run_single(argc, argv, [](const pn::petri_net& net) {
+        std::printf("%s", pnio::to_dot(net).c_str());
+        return 0;
+    });
+}
+
+// --------------------------------------------------------------- explore --
+
+/// The --reduce spellings, shared between the flag table and the synopsis.
 enum class reduce_mode { none, stubborn, stubborn_ltlx };
 
-constexpr enum_choice<reduce_mode> reduce_choices[] = {
+constexpr cli::enum_choice<reduce_mode> reduce_choices[] = {
     {"none", reduce_mode::none},
     {"stubborn", reduce_mode::stubborn},
     {"stubborn-ltlx", reduce_mode::stubborn_ltlx},
 };
 
-constexpr enum_choice<pipeline::net_family> family_choices[] = {
+constexpr cli::enum_choice<pipeline::net_family> family_choices[] = {
     {"fc", pipeline::net_family::free_choice},
     {"mg", pipeline::net_family::marked_graph},
     {"choice", pipeline::net_family::choice_heavy},
 };
 
-int explore(int argc, char** argv)
+int cmd_explore(int argc, char** argv)
 {
     pn::reachability_options options;
     options.threads = 1;
-    telemetry_options telemetry;
+    cli::telemetry_options telemetry;
     std::string path;
     for (int i = 2; i < argc; ++i) {
         long value = 0;
         reduce_mode mode = reduce_mode::none;
-        if (int_option(argc, argv, i, "--threads", value)) {
+        if (cli::int_option(argc, argv, i, "--threads", value)) {
             options.threads = value >= 0 ? static_cast<std::size_t>(value) : 1;
-        } else if (int_option(argc, argv, i, "--max-states", value)) {
+        } else if (cli::int_option(argc, argv, i, "--max-states", value)) {
             options.max_markings = value > 0 ? static_cast<std::size_t>(value) : 1;
-        } else if (int_option(argc, argv, i, "--max-tokens", value)) {
+        } else if (cli::int_option(argc, argv, i, "--max-tokens", value)) {
             options.max_tokens_per_place = value > 0 ? value : 1;
-        } else if (enum_option(argc, argv, i, "--reduce", reduce_choices, mode)) {
+        } else if (cli::enum_option(argc, argv, i, "--reduce", reduce_choices, mode)) {
             options.reduction = mode == reduce_mode::none
                                     ? pn::reduction_kind::none
                                     : pn::reduction_kind::stubborn;
@@ -384,17 +301,19 @@ int explore(int argc, char** argv)
     return telemetry.emit();
 }
 
-int batch(int argc, char** argv)
+// ----------------------------------------------------------------- batch --
+
+int cmd_batch(int argc, char** argv)
 {
     pipeline::pipeline_options options;
-    telemetry_options telemetry;
+    cli::telemetry_options telemetry;
     bool verbose = false;
     std::vector<std::string> paths;
     for (int i = 2; i < argc; ++i) {
         long value = 0;
-        if (int_option(argc, argv, i, "--jobs", value)) {
+        if (cli::int_option(argc, argv, i, "--jobs", value)) {
             options.jobs = value > 0 ? static_cast<std::size_t>(value) : 0;
-        } else if (int_option(argc, argv, i, "--max-allocations", value)) {
+        } else if (cli::int_option(argc, argv, i, "--max-allocations", value)) {
             options.scheduler.max_allocations =
                 value > 0 ? static_cast<std::size_t>(value) : 1;
         } else if (std::strcmp(argv[i], "--no-codegen") == 0) {
@@ -447,7 +366,9 @@ int batch(int argc, char** argv)
     return hard_failure ? 1 : 0;
 }
 
-int generate(int argc, char** argv)
+// -------------------------------------------------------------- generate --
+
+int cmd_generate(int argc, char** argv)
 {
     long seed = 1;
     long count = 10;
@@ -455,22 +376,22 @@ int generate(int argc, char** argv)
     pipeline::generator_options options;
     for (int i = 2; i < argc; ++i) {
         long value = 0;
-        if (int_option(argc, argv, i, "--seed", value)) {
+        if (cli::int_option(argc, argv, i, "--seed", value)) {
             seed = value;
-        } else if (int_option(argc, argv, i, "--count", value)) {
+        } else if (cli::int_option(argc, argv, i, "--count", value)) {
             count = value;
-        } else if (int_option(argc, argv, i, "--sources", value)) {
+        } else if (cli::int_option(argc, argv, i, "--sources", value)) {
             options.sources = static_cast<int>(value);
-        } else if (int_option(argc, argv, i, "--depth", value)) {
+        } else if (cli::int_option(argc, argv, i, "--depth", value)) {
             options.depth = static_cast<int>(value);
-        } else if (int_option(argc, argv, i, "--tokens", value)) {
+        } else if (cli::int_option(argc, argv, i, "--tokens", value)) {
             options.token_load = static_cast<int>(value);
-        } else if (int_option(argc, argv, i, "--defects", value)) {
+        } else if (cli::int_option(argc, argv, i, "--defects", value)) {
             options.defect_percent = static_cast<int>(value);
-        } else if (int_option(argc, argv, i, "--credit", value)) {
+        } else if (cli::int_option(argc, argv, i, "--credit", value)) {
             options.source_credit = static_cast<int>(value);
-        } else if (enum_option(argc, argv, i, "--family", family_choices,
-                               options.family)) {
+        } else if (cli::enum_option(argc, argv, i, "--family", family_choices,
+                                    options.family)) {
         } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
             out_dir = argv[++i];
         } else {
@@ -492,60 +413,105 @@ int generate(int argc, char** argv)
     return 0;
 }
 
+// ----------------------------------------------------------------- serve --
+
+int cmd_serve(int argc, char** argv)
+{
+    pipeline::service_options options;
+    svc::server_options server;
+    cli::telemetry_options telemetry;
+    long tcp_port = -1;
+    for (int i = 2; i < argc; ++i) {
+        long value = 0;
+        if (cli::int_option(argc, argv, i, "--jobs", value)) {
+            options.jobs = value > 0 ? static_cast<std::size_t>(value) : 0;
+        } else if (cli::int_option(argc, argv, i, "--queue", value)) {
+            options.max_queue = value > 0 ? static_cast<std::size_t>(value) : 1;
+        } else if (cli::int_option(argc, argv, i, "--cache", value)) {
+            options.result_cache = value >= 0 ? static_cast<std::size_t>(value) : 0;
+        } else if (cli::int_option(argc, argv, i, "--max-allocations", value)) {
+            options.pipeline.scheduler.max_allocations =
+                value > 0 ? static_cast<std::size_t>(value) : 1;
+        } else if (cli::int_option(argc, argv, i, "--max-input-bytes", value)) {
+            options.pipeline.limits.max_input_bytes =
+                value > 0 ? static_cast<std::size_t>(value) : 1;
+            server.max_line_bytes =
+                std::max(server.max_line_bytes,
+                         2 * options.pipeline.limits.max_input_bytes);
+        } else if (std::strcmp(argv[i], "--no-codegen") == 0) {
+            options.pipeline.generate_code = false;
+        } else if (std::strcmp(argv[i], "--no-code") == 0) {
+            server.session.include_code = false;
+        } else if (cli::int_option(argc, argv, i, "--tcp", value)) {
+            tcp_port = value;
+        } else if (telemetry.parse(argv[i])) {
+        } else {
+            std::fprintf(stderr, "unknown serve option '%s'\n", argv[i]);
+            return 2;
+        }
+    }
+    if (const int status = telemetry.enable()) {
+        return status;
+    }
+
+    pipeline::service service(options);
+    int exit_code = 0;
+    if (tcp_port >= 0) {
+        unsigned short bound = 0;
+        std::fprintf(stderr, "pn_tool serve: %zu workers, queue %zu\n",
+                     service.jobs(), service.options().max_queue);
+        exit_code = svc::serve_tcp(service, static_cast<unsigned short>(tcp_port),
+                                   server, &bound);
+        if (exit_code == 0) {
+            std::fprintf(stderr, "pn_tool serve: stopped (port %u)\n", bound);
+        } else {
+            std::fprintf(stderr, "pn_tool serve: cannot listen on 127.0.0.1:%ld\n",
+                         tcp_port);
+        }
+    } else {
+        exit_code = svc::serve_stdio(service, STDIN_FILENO, STDOUT_FILENO, server);
+    }
+    service.drain();
+
+    if (const int status = telemetry.emit()) {
+        return status;
+    }
+    return exit_code;
+}
+
+// -------------------------------------------------------------- registry --
+
+constexpr cli::command commands[] = {
+    {"analyze", "model.pn", cmd_analyze},
+    {"schedule", "model.pn", cmd_schedule},
+    {"report", "model.pn", cmd_report},
+    {"codegen", "model.pn", cmd_codegen},
+    {"dot", "model.pn", cmd_dot},
+    {"explore",
+     "[--threads N] [--max-states S] [--max-tokens K]\n"
+     "                  [--reduce none|stubborn|stubborn-ltlx]\n"
+     "                  [--stats[=FILE]] [--trace=FILE] model.pn",
+     cmd_explore},
+    {"batch",
+     "[--jobs N] [--max-allocations A] [--no-codegen] [--verbose]\n"
+     "                  [--stats[=FILE]] [--trace=FILE] model.pn...",
+     cmd_batch},
+    {"generate",
+     "[--seed S] [--count N] [--family fc|mg|choice] [--sources K]\n"
+     "                  [--depth D] [--tokens L] [--defects P] [--credit C] "
+     "--out DIR",
+     cmd_generate},
+    {"serve",
+     "[--jobs N] [--queue N] [--cache N] [--max-allocations A]\n"
+     "                  [--no-codegen] [--no-code] [--max-input-bytes B] "
+     "[--tcp PORT]\n"
+     "                  [--stats[=FILE]] [--trace=FILE]",
+     cmd_serve},
+};
+
 } // namespace
 
 int main(int argc, char** argv)
 {
-    if (argc >= 2 && std::strcmp(argv[1], "batch") == 0) {
-        try {
-            return batch(argc, argv);
-        } catch (const std::exception& e) {
-            std::fprintf(stderr, "error: %s\n", e.what());
-            return 1;
-        }
-    }
-    if (argc >= 2 && std::strcmp(argv[1], "generate") == 0) {
-        try {
-            return generate(argc, argv);
-        } catch (const std::exception& e) {
-            std::fprintf(stderr, "error: %s\n", e.what());
-            return 1;
-        }
-    }
-    if (argc >= 2 && std::strcmp(argv[1], "explore") == 0) {
-        try {
-            return explore(argc, argv);
-        } catch (const std::exception& e) {
-            std::fprintf(stderr, "error: %s\n", e.what());
-            return 1;
-        }
-    }
-    if (argc != 3) {
-        return usage();
-    }
-    try {
-        const pn::petri_net net = pnio::load_net(argv[2]);
-        if (std::strcmp(argv[1], "analyze") == 0) {
-            return analyze(net);
-        }
-        if (std::strcmp(argv[1], "schedule") == 0) {
-            return schedule(net);
-        }
-        if (std::strcmp(argv[1], "report") == 0) {
-            std::printf("%s", qss::synthesis_report(net).c_str());
-            return 0;
-        }
-        if (std::strcmp(argv[1], "codegen") == 0) {
-            return codegen(net);
-        }
-        if (std::strcmp(argv[1], "dot") == 0) {
-            std::printf("%s", pnio::to_dot(net).c_str());
-            return 0;
-        }
-        std::fprintf(stderr, "unknown command '%s'\n", argv[1]);
-        return usage();
-    } catch (const std::exception& e) {
-        std::fprintf(stderr, "error: %s\n", e.what());
-        return 1;
-    }
+    return cli::dispatch("pn_tool", commands, std::size(commands), argc, argv);
 }

@@ -52,6 +52,29 @@ public:
         return true;
     }
 
+    /// Non-blocking push: returns false immediately (dropping the value)
+    /// when the queue is full or closed, instead of waiting for room.  The
+    /// explicit-backpressure primitive: a resident service turns a failed
+    /// try_push into an "overloaded, retry later" reply rather than
+    /// stalling the submitting client.
+    bool try_push(T value)
+    {
+        {
+            std::lock_guard lock(mutex_);
+            if (closed_ || items_.size() >= capacity_) {
+                return false;
+            }
+            items_.push_back(std::move(value));
+            if (obs::stats_enabled()) {
+                static obs::gauge& depth_hwm =
+                    obs::get_gauge("exec.queue.depth_hwm", "jobs");
+                depth_hwm.set_max(static_cast<double>(items_.size()));
+            }
+        }
+        not_empty_.notify_one();
+        return true;
+    }
+
     /// Blocks while the queue is empty and open.  Returns nullopt once the
     /// queue is closed and fully drained.
     std::optional<T> pop()

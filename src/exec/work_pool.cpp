@@ -1,0 +1,60 @@
+#include "exec/work_pool.hpp"
+
+#include <utility>
+
+#include "exec/executor.hpp"
+#include "obs/obs.hpp"
+
+namespace fcqss::exec {
+
+work_pool::work_pool(std::size_t jobs, std::size_t queue_capacity)
+    : queue_(queue_capacity)
+{
+    const std::size_t n = resolve_thread_count(jobs);
+    job_count_ = n;
+    workers_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+work_pool::~work_pool()
+{
+    close();
+}
+
+bool work_pool::try_submit(std::function<void()> job)
+{
+    return queue_.try_push(std::move(job));
+}
+
+bool work_pool::submit(std::function<void()> job)
+{
+    return queue_.push(std::move(job));
+}
+
+void work_pool::close()
+{
+    std::lock_guard lock(close_mutex_);
+    queue_.close();
+    workers_.clear(); // jthread joins on destruction; pops drain the queue
+}
+
+void work_pool::worker_loop()
+{
+    while (auto job = queue_.pop()) {
+        try {
+            (*job)();
+        } catch (...) {
+            // Jobs own their failures; a leak here must not kill the
+            // resident process.  Count it so the stats surface shows it.
+            if (obs::stats_enabled()) {
+                static obs::counter& escaped =
+                    obs::get_counter("exec.pool.escaped_exceptions");
+                escaped.add(1);
+            }
+        }
+    }
+}
+
+} // namespace fcqss::exec

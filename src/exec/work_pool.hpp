@@ -1,0 +1,68 @@
+// fcqss — exec/work_pool.hpp
+// A resident thread pool: workers pull closures from a bounded job_queue
+// for the whole life of the pool, so jobs can be submitted continuously
+// and from any thread.  This is the long-lived counterpart of executor
+// (which runs exactly one indexed batch and is not reentrant): the
+// synthesis service keeps one work_pool up across thousands of requests.
+//
+// Submission comes in two flavours: try_submit() fails fast when the queue
+// is full (the backpressure signal a server turns into an "overloaded"
+// reply) and submit() blocks until there is room (for trusted in-process
+// producers).  close() stops intake, lets the workers drain every queued
+// job, and joins them; jobs are expected to handle their own failures —
+// an exception escaping a job is swallowed and counted
+// (exec.pool.escaped_exceptions) so one bad job can never take down the
+// resident process.
+#ifndef FCQSS_EXEC_WORK_POOL_HPP
+#define FCQSS_EXEC_WORK_POOL_HPP
+
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "exec/job_queue.hpp"
+
+namespace fcqss::exec {
+
+class work_pool {
+public:
+    /// Spawns `jobs` workers (0 picks the hardware concurrency) over a
+    /// queue bounded at `queue_capacity` pending jobs.
+    explicit work_pool(std::size_t jobs, std::size_t queue_capacity);
+
+    /// Closes and joins (idempotent with close()).
+    ~work_pool();
+
+    work_pool(const work_pool&) = delete;
+    work_pool& operator=(const work_pool&) = delete;
+
+    [[nodiscard]] std::size_t jobs() const noexcept { return job_count_; }
+
+    /// Enqueues without blocking; false when the queue is full or closed.
+    [[nodiscard]] bool try_submit(std::function<void()> job);
+
+    /// Enqueues, waiting for queue room; false only when already closed.
+    bool submit(std::function<void()> job);
+
+    /// Stops intake, drains every queued job, joins the workers.  Safe to
+    /// call more than once and from concurrent threads; submissions after
+    /// close() fail.
+    void close();
+
+    /// Jobs currently queued (not yet picked up by a worker).
+    [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+
+private:
+    void worker_loop();
+
+    job_queue<std::function<void()>> queue_;
+    std::size_t job_count_ = 0; // fixed at construction
+    std::mutex close_mutex_;
+    std::vector<std::jthread> workers_;
+};
+
+} // namespace fcqss::exec
+
+#endif // FCQSS_EXEC_WORK_POOL_HPP

@@ -42,6 +42,84 @@ const char* to_string(pipeline_status status)
     return "?";
 }
 
+std::optional<pipeline_status> parse_pipeline_status(std::string_view spelling) noexcept
+{
+    static constexpr pipeline_status all[] = {
+        pipeline_status::ok,           pipeline_status::load_failed,
+        pipeline_status::parse_failed, pipeline_status::invalid_model,
+        pipeline_status::not_free_choice, pipeline_status::not_schedulable,
+        pipeline_status::resource_limit, pipeline_status::failed,
+    };
+    for (const pipeline_status s : all) {
+        if (spelling == to_string(s)) {
+            return s;
+        }
+    }
+    return std::nullopt;
+}
+
+int wire_code(pipeline_status status) noexcept
+{
+    // Append-only: these numbers are CLI exit codes and protocol fields.
+    // 1 and 2 stay reserved (generic error / usage error).
+    switch (status) {
+    case pipeline_status::ok: return 0;
+    case pipeline_status::load_failed: return 3;
+    case pipeline_status::parse_failed: return 4;
+    case pipeline_status::invalid_model: return 5;
+    case pipeline_status::not_free_choice: return 6;
+    case pipeline_status::not_schedulable: return 7;
+    case pipeline_status::resource_limit: return 8;
+    case pipeline_status::failed: return 9;
+    }
+    return 9;
+}
+
+std::optional<pipeline_status> status_from_wire(int code) noexcept
+{
+    switch (code) {
+    case 0: return pipeline_status::ok;
+    case 3: return pipeline_status::load_failed;
+    case 4: return pipeline_status::parse_failed;
+    case 5: return pipeline_status::invalid_model;
+    case 6: return pipeline_status::not_free_choice;
+    case 7: return pipeline_status::not_schedulable;
+    case 8: return pipeline_status::resource_limit;
+    case 9: return pipeline_status::failed;
+    default: return std::nullopt;
+    }
+}
+
+pipeline_status status_of_current_exception(std::string& diagnosis)
+{
+    try {
+        throw;
+    } catch (const parse_error& e) {
+        diagnosis = e.what();
+        return pipeline_status::parse_failed;
+    } catch (const model_error& e) {
+        diagnosis = e.what();
+        return pipeline_status::invalid_model;
+    } catch (const domain_error& e) {
+        // The scheduler's own class check tripped (shouldn't happen after
+        // classify, but a stage must never leak exceptions into the batch).
+        diagnosis = e.what();
+        return pipeline_status::not_free_choice;
+    } catch (const io_error& e) {
+        diagnosis = e.what();
+        return pipeline_status::load_failed;
+    } catch (const resource_limit_error& e) {
+        diagnosis = e.what();
+        return pipeline_status::resource_limit;
+    } catch (const std::exception& e) {
+        diagnosis = e.what();
+        return pipeline_status::failed;
+    } catch (...) {
+        diagnosis = "unknown exception";
+        return pipeline_status::failed;
+    }
+}
+
 const char* to_string(pipeline_stage stage)
 {
     switch (stage) {
@@ -241,18 +319,25 @@ synthesis_pipeline::synthesis_pipeline(pipeline_options options)
 {
 }
 
-pipeline_result synthesis_pipeline::run_one(const net_source& source) const
+pipeline_result synthesis_pipeline::run_one(const net_source& source,
+                                            const stage_observer& observer) const
 {
     pipeline_result result;
     result.name = source.name;
+    const auto report = [&](pipeline_stage stage) {
+        if (observer) {
+            observer(stage, result);
+        }
+    };
     try {
         // -- parse ----------------------------------------------------------
         std::optional<pn::petri_net> parsed;
         if (!source.prebuilt) {
             parsed = timed(result, pipeline_stage::parse, [&] {
-                return source.is_path ? pnio::load_net(source.text)
-                                      : pnio::parse_net(source.text);
+                return source.is_path ? pnio::load_net(source.text, options_.limits)
+                                      : pnio::parse_net(source.text, options_.limits);
             });
+            report(pipeline_stage::parse);
         }
         const pn::petri_net& net = source.prebuilt ? *source.prebuilt : *parsed;
         if (result.name.empty()) {
@@ -279,14 +364,17 @@ pipeline_result synthesis_pipeline::run_one(const net_source& source) const
         });
         if (!in_class) {
             result.status = pipeline_status::not_free_choice;
+            report(pipeline_stage::classify);
             return result;
         }
+        report(pipeline_stage::classify);
 
         // -- structural -----------------------------------------------------
         if (options_.structural_analysis) {
             timed(result, pipeline_stage::structural, [&] {
                 result.consistent = pn::is_consistent(net);
             });
+            report(pipeline_stage::structural);
         }
 
         // -- schedule -------------------------------------------------------
@@ -295,17 +383,21 @@ pipeline_result synthesis_pipeline::run_one(const net_source& source) const
         });
         result.allocations = schedule.allocations_enumerated;
         result.cycles = schedule.entries.size();
+        result.qss_failure = schedule.failure;
         if (!schedule.schedulable) {
             result.diagnosis = schedule.diagnosis;
             result.status = pipeline_status::not_schedulable;
+            report(pipeline_stage::schedule);
             return result;
         }
+        report(pipeline_stage::schedule);
 
         // -- partition ------------------------------------------------------
         const qss::task_partition partition =
             timed(result, pipeline_stage::partition,
                   [&] { return qss::partition_tasks(net, schedule); });
         result.tasks = partition.tasks.size();
+        report(pipeline_stage::partition);
 
         // -- codegen --------------------------------------------------------
         if (options_.generate_code) {
@@ -319,29 +411,12 @@ pipeline_result synthesis_pipeline::run_one(const net_source& source) const
                     result.code = std::move(code);
                 }
             });
+            report(pipeline_stage::codegen);
         }
         result.status = pipeline_status::ok;
         return result;
-    } catch (const parse_error& e) {
-        result.status = pipeline_status::parse_failed;
-        result.diagnosis = e.what();
-    } catch (const model_error& e) {
-        result.status = pipeline_status::invalid_model;
-        result.diagnosis = e.what();
-    } catch (const domain_error& e) {
-        // The scheduler's own class check tripped (shouldn't happen after
-        // classify, but a stage must never leak exceptions into the batch).
-        result.status = pipeline_status::not_free_choice;
-        result.diagnosis = e.what();
-    } catch (const io_error& e) {
-        result.status = pipeline_status::load_failed;
-        result.diagnosis = e.what();
-    } catch (const resource_limit_error& e) {
-        result.status = pipeline_status::resource_limit;
-        result.diagnosis = e.what();
-    } catch (const std::exception& e) {
-        result.status = pipeline_status::failed;
-        result.diagnosis = e.what();
+    } catch (...) {
+        result.status = status_of_current_exception(result.diagnosis);
     }
     return result;
 }

@@ -19,13 +19,17 @@
 
 #include <array>
 #include <cstddef>
+#include <functional>
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "codegen/task_codegen.hpp"
 #include "pn/net_class.hpp"
 #include "pn/petri_net.hpp"
+#include "pnio/lexer.hpp"
 #include "qss/scheduler.hpp"
 
 namespace fcqss::pipeline {
@@ -43,6 +47,29 @@ enum class pipeline_status {
 };
 
 [[nodiscard]] const char* to_string(pipeline_status status);
+
+/// Inverse of to_string; nullopt for unknown spellings.  Together with
+/// wire_code / status_from_wire this makes the status a stable wire type:
+/// both the textual and the numeric form round-trip, and tests pin the
+/// mapping so neither can silently drift.
+[[nodiscard]] std::optional<pipeline_status>
+parse_pipeline_status(std::string_view spelling) noexcept;
+
+/// Stable numeric wire code of a status.  Used identically as the CLI exit
+/// code of single-net commands and as the "code" field of service replies.
+/// 0 is success; 1 (generic error) and 2 (usage error) stay reserved for
+/// the CLI; the mapping is append-only and never renumbered.
+[[nodiscard]] int wire_code(pipeline_status status) noexcept;
+
+/// Inverse of wire_code; nullopt for unassigned codes.
+[[nodiscard]] std::optional<pipeline_status> status_from_wire(int code) noexcept;
+
+/// Maps the in-flight exception to the status run_one would record for it,
+/// appending its message to `diagnosis`.  Exposed so other entry points
+/// that run pipeline work (the resident service parsing client bytes)
+/// classify failures exactly like the batch path.  Must be called from
+/// within a catch block.
+[[nodiscard]] pipeline_status status_of_current_exception(std::string& diagnosis);
 
 /// Pipeline stages, in execution order (indices into stage timings).
 enum class pipeline_stage { parse, classify, structural, schedule, partition, codegen };
@@ -95,6 +122,10 @@ struct pipeline_result {
     std::size_t allocations = 0;
     std::size_t cycles = 0;
     std::size_t tasks = 0;
+    /// Machine-readable rejection class when status == not_schedulable
+    /// (reduction_failure::none otherwise); wire_code(qss_failure) rides the
+    /// service protocol next to the human-readable diagnosis.
+    qss::reduction_failure qss_failure = qss::reduction_failure::none;
 
     // Codegen facts.
     std::size_t code_bytes = 0;
@@ -131,9 +162,21 @@ struct pipeline_options {
     bool structural_analysis = true;
     /// Retain the emitted C text in each result (memory-heavy on batches).
     bool keep_code = false;
+    /// Bounds on parsed text inputs; trips become status resource_limit.
+    pnio::parse_limits limits{};
     qss::scheduler_options scheduler{};
     cgen::codegen_options codegen{};
 };
+
+/// Per-stage progress callback: invoked after each stage completes (in
+/// stage order, on the thread running the net) with the result so far.
+/// `partial` is only valid for the duration of the call.  Stages that
+/// reject their net (classify, schedule) still report before the run
+/// stops with the status already set; a stage that throws reports
+/// nothing — the failure arrives in the final result only.  This is how
+/// the service streams the structural verdict long before codegen lands.
+using stage_observer =
+    std::function<void(pipeline_stage stage, const pipeline_result& partial)>;
 
 class synthesis_pipeline {
 public:
@@ -142,8 +185,10 @@ public:
     [[nodiscard]] const pipeline_options& options() const noexcept { return options_; }
 
     /// Runs one source through every stage on the calling thread.  Never
-    /// throws for per-net problems; the status/diagnosis carry them.
-    [[nodiscard]] pipeline_result run_one(const net_source& source) const;
+    /// throws for per-net problems; the status/diagnosis carry them.  The
+    /// observer, when given, sees every stage that ran.
+    [[nodiscard]] pipeline_result run_one(const net_source& source,
+                                          const stage_observer& observer = {}) const;
 
     /// Runs the whole batch on the thread pool; results come back in input
     /// order regardless of completion order.

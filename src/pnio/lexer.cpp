@@ -68,12 +68,21 @@ bool is_identifier_char(char c)
 
 } // namespace
 
-std::vector<token> tokenize(std::string_view source)
+std::vector<token> tokenize(std::string_view source, const parse_limits& limits)
 {
+    if (source.size() > limits.max_input_bytes) {
+        throw resource_limit_error(
+            "parse: input is " + std::to_string(source.size()) +
+            " bytes, limit is " + std::to_string(limits.max_input_bytes));
+    }
     std::vector<token> tokens;
     cursor cur(source);
 
     while (!cur.at_end()) {
+        if (tokens.size() >= limits.max_tokens) {
+            throw resource_limit_error("parse: more than " +
+                                       std::to_string(limits.max_tokens) + " tokens");
+        }
         const int line = cur.line();
         const int column = cur.column();
         const char c = cur.peek();

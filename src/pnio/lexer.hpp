@@ -42,9 +42,24 @@ struct token {
     int column = 0;
 };
 
+/// Bounds on what the lexer/parser will accept from one document.  The
+/// defaults are far beyond any legitimate net but small enough that an
+/// adversarial submission cannot OOM a resident server: every limit trips a
+/// fcqss::resource_limit_error (surfaced as pipeline_status::resource_limit)
+/// instead of unbounded allocation.
+struct parse_limits {
+    std::size_t max_input_bytes = 64u << 20; ///< source text size
+    std::size_t max_tokens = 8u << 20;       ///< lexed token count
+    std::size_t max_places = 1u << 20;       ///< declared places
+    std::size_t max_transitions = 1u << 20;  ///< declared transitions
+    std::size_t max_arcs = 4u << 20;         ///< declared arcs
+};
+
 /// Tokenizes `source`; throws fcqss::parse_error on illegal characters or
-/// malformed numbers.  The final token is always end_of_input.
-[[nodiscard]] std::vector<token> tokenize(std::string_view source);
+/// malformed numbers and fcqss::resource_limit_error when `limits` are
+/// exceeded.  The final token is always end_of_input.
+[[nodiscard]] std::vector<token> tokenize(std::string_view source,
+                                          const parse_limits& limits = {});
 
 } // namespace fcqss::pnio
 

@@ -14,7 +14,10 @@ namespace {
 
 class parser {
 public:
-    explicit parser(std::string_view source) : tokens_(tokenize(source)) {}
+    explicit parser(std::string_view source, const parse_limits& limits)
+        : tokens_(tokenize(source, limits)), limits_(limits)
+    {
+    }
 
     pn::petri_net parse()
     {
@@ -73,6 +76,17 @@ private:
         }
     }
 
+    /// Trips a resource_limit_error when a declaration count passes its
+    /// bound — checked before the builder grows, so the limit caps arena
+    /// growth, not just the final net size.
+    void charge(std::size_t& count, std::size_t limit, const char* what) const
+    {
+        if (++count > limit) {
+            throw resource_limit_error("parse: more than " + std::to_string(limit) +
+                                       " " + what);
+        }
+    }
+
     void parse_places(pn::net_builder& builder)
     {
         expect(token_kind::left_brace);
@@ -85,6 +99,7 @@ private:
                 expect(token_kind::right_paren);
             }
             expect(token_kind::semicolon);
+            charge(place_count_, limits_.max_places, "places");
             places_[name.text] = builder.add_place(name.text, tokens);
         }
         expect(token_kind::right_brace);
@@ -96,6 +111,7 @@ private:
         while (!check(token_kind::right_brace)) {
             const token name = expect(token_kind::identifier);
             expect(token_kind::semicolon);
+            charge(transition_count_, limits_.max_transitions, "transitions");
             transitions_[name.text] = builder.add_transition(name.text);
         }
         expect(token_kind::right_brace);
@@ -105,6 +121,7 @@ private:
     {
         expect(token_kind::left_brace);
         while (!check(token_kind::right_brace)) {
+            charge(arc_count_, limits_.max_arcs, "arcs");
             const token from = expect(token_kind::identifier);
             expect(token_kind::arrow);
             const token to = expect(token_kind::identifier);
@@ -153,19 +170,23 @@ private:
     }
 
     std::vector<token> tokens_;
+    parse_limits limits_;
     std::size_t position_ = 0;
+    std::size_t place_count_ = 0;
+    std::size_t transition_count_ = 0;
+    std::size_t arc_count_ = 0;
     std::unordered_map<std::string, pn::place_id> places_;
     std::unordered_map<std::string, pn::transition_id> transitions_;
 };
 
 } // namespace
 
-pn::petri_net parse_net(std::string_view source)
+pn::petri_net parse_net(std::string_view source, const parse_limits& limits)
 {
-    return parser(source).parse();
+    return parser(source, limits).parse();
 }
 
-pn::petri_net load_net(const std::string& path)
+pn::petri_net load_net(const std::string& path, const parse_limits& limits)
 {
     std::ifstream file(path);
     if (!file) {
@@ -177,7 +198,7 @@ pn::petri_net load_net(const std::string& path)
     // mode a bare "expected ';'" is useless without knowing which of a
     // thousand inputs produced it.
     try {
-        return parse_net(contents.str());
+        return parse_net(contents.str(), limits);
     } catch (const parse_error& e) {
         throw parse_error::with_context(path, e);
     } catch (const model_error& e) {

@@ -19,16 +19,22 @@
 #include <string_view>
 
 #include "pn/petri_net.hpp"
+#include "pnio/lexer.hpp"
 
 namespace fcqss::pnio {
 
 /// Parses a `.pn` document into a net; throws fcqss::parse_error with
-/// line/column on syntax errors and fcqss::model_error on semantic ones
-/// (duplicate names, unknown arc endpoints, duplicate arcs).
-[[nodiscard]] pn::petri_net parse_net(std::string_view source);
+/// line/column on syntax errors, fcqss::model_error on semantic ones
+/// (duplicate names, unknown arc endpoints, duplicate arcs), and
+/// fcqss::resource_limit_error when the document exceeds `limits` — the
+/// declaration counts are enforced while parsing, before the builder's
+/// arenas grow, so untrusted input cannot OOM the caller.
+[[nodiscard]] pn::petri_net parse_net(std::string_view source,
+                                      const parse_limits& limits = {});
 
 /// Reads a file and parses it.
-[[nodiscard]] pn::petri_net load_net(const std::string& path);
+[[nodiscard]] pn::petri_net load_net(const std::string& path,
+                                     const parse_limits& limits = {});
 
 } // namespace fcqss::pnio
 

@@ -21,6 +21,29 @@ std::string to_string(reduction_failure f)
     return "unknown";
 }
 
+int wire_code(reduction_failure f) noexcept
+{
+    // Append-only: these numbers are on the wire and in exit codes.
+    switch (f) {
+    case reduction_failure::none: return 0;
+    case reduction_failure::inconsistent: return 1;
+    case reduction_failure::source_uncovered: return 2;
+    case reduction_failure::deadlock: return 3;
+    }
+    return -1;
+}
+
+std::optional<reduction_failure> reduction_failure_from_wire(int code) noexcept
+{
+    switch (code) {
+    case 0: return reduction_failure::none;
+    case 1: return reduction_failure::inconsistent;
+    case 2: return reduction_failure::source_uncovered;
+    case 3: return reduction_failure::deadlock;
+    default: return std::nullopt;
+    }
+}
+
 namespace {
 
 // Greedy deterministic cover of the reduction's transitions by minimal

@@ -7,6 +7,7 @@
 #ifndef FCQSS_QSS_SCHEDULABILITY_HPP
 #define FCQSS_QSS_SCHEDULABILITY_HPP
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,15 @@ enum class reduction_failure {
 };
 
 [[nodiscard]] std::string to_string(reduction_failure f);
+
+/// Stable numeric wire code for a rejection diagnosis, shared by the CLI
+/// and the service protocol.  The mapping is part of the wire format (it is
+/// pinned by tests): codes are append-only, never renumbered.
+[[nodiscard]] int wire_code(reduction_failure f) noexcept;
+
+/// Inverse of wire_code; nullopt for unassigned codes.
+[[nodiscard]] std::optional<reduction_failure>
+reduction_failure_from_wire(int code) noexcept;
 
 /// Result of checking one reduction.
 struct reduction_schedule {

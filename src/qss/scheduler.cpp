@@ -52,6 +52,9 @@ qss_result quasi_static_schedule(const pn::petri_net& net,
         entry.analysis = schedule_reduction(net, result.clusters, entry.reduction);
         if (!entry.analysis.ok()) {
             all_ok = false;
+            if (result.failure == reduction_failure::none) {
+                result.failure = entry.analysis.failure;
+            }
             if (!result.diagnosis.empty()) {
                 result.diagnosis += "; ";
             }

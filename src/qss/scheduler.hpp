@@ -53,6 +53,11 @@ struct qss_result {
     /// Human-readable failure summary; empty when schedulable.
     std::string diagnosis;
 
+    /// The first failing reduction's diagnosis class (reduction_failure::none
+    /// when schedulable) — the machine-readable twin of `diagnosis`, carried
+    /// to CLI exit codes and the service wire format via wire_code().
+    reduction_failure failure = reduction_failure::none;
+
     /// The finite complete cycles, in entry order (convenience view).
     [[nodiscard]] std::vector<pn::firing_sequence> cycles() const;
 };

@@ -1,0 +1,469 @@
+#include "svc/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace fcqss::svc {
+
+json json::array()
+{
+    json value;
+    value.kind_ = kind::array;
+    return value;
+}
+
+json json::object()
+{
+    json value;
+    value.kind_ = kind::object;
+    return value;
+}
+
+bool json::as_bool(bool fallback) const
+{
+    return kind_ == kind::boolean ? bool_ : fallback;
+}
+
+double json::as_number(double fallback) const
+{
+    return kind_ == kind::number ? number_ : fallback;
+}
+
+const std::string& json::as_string() const
+{
+    static const std::string empty;
+    return kind_ == kind::string ? string_ : empty;
+}
+
+const json* json::find(std::string_view key) const
+{
+    for (const member& field : members_) {
+        if (field.first == key) {
+            return &field.second;
+        }
+    }
+    return nullptr;
+}
+
+void json::set(std::string_view key, json value)
+{
+    kind_ = kind::object;
+    for (member& field : members_) {
+        if (field.first == key) {
+            field.second = std::move(value);
+            return;
+        }
+    }
+    members_.emplace_back(std::string(key), std::move(value));
+}
+
+void json::push_back(json value)
+{
+    kind_ = kind::array;
+    items_.push_back(std::move(value));
+}
+
+void append_escaped(std::string& out, std::string_view text)
+{
+    for (const char c : text) {
+        const auto byte = static_cast<unsigned char>(c);
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (byte < 0x20) {
+                char buffer[8];
+                std::snprintf(buffer, sizeof buffer, "\\u%04x", byte);
+                out += buffer;
+            } else {
+                out += c; // UTF-8 bytes pass through verbatim
+            }
+        }
+    }
+}
+
+namespace {
+
+void append_number(std::string& out, double value)
+{
+    if (!std::isfinite(value)) {
+        out += "null"; // JSON has no inf/nan
+        return;
+    }
+    // Integers (the common case: ids, codes, counts) render without a
+    // fractional part; everything else gets round-trippable precision.
+    if (value == std::floor(value) && std::fabs(value) < 9.0e15) {
+        char buffer[32];
+        std::snprintf(buffer, sizeof buffer, "%.0f", value);
+        out += buffer;
+    } else {
+        char buffer[32];
+        std::snprintf(buffer, sizeof buffer, "%.17g", value);
+        out += buffer;
+    }
+}
+
+void append_value(std::string& out, const json& value)
+{
+    switch (value.type()) {
+    case json::kind::null:
+        out += "null";
+        break;
+    case json::kind::boolean:
+        out += value.as_bool() ? "true" : "false";
+        break;
+    case json::kind::number:
+        append_number(out, value.as_number());
+        break;
+    case json::kind::string:
+        out += '"';
+        append_escaped(out, value.as_string());
+        out += '"';
+        break;
+    case json::kind::array: {
+        out += '[';
+        bool first = true;
+        for (const json& item : value.items()) {
+            if (!first) {
+                out += ',';
+            }
+            first = false;
+            append_value(out, item);
+        }
+        out += ']';
+        break;
+    }
+    case json::kind::object: {
+        out += '{';
+        bool first = true;
+        for (const auto& [key, field] : value.members()) {
+            if (!first) {
+                out += ',';
+            }
+            first = false;
+            out += '"';
+            append_escaped(out, key);
+            out += "\":";
+            append_value(out, field);
+        }
+        out += '}';
+        break;
+    }
+    }
+}
+
+class parser {
+public:
+    parser(std::string_view text, std::size_t max_depth)
+        : text_(text), max_depth_(max_depth)
+    {
+    }
+
+    json run()
+    {
+        json value = parse_value(0);
+        skip_whitespace();
+        if (pos_ != text_.size()) {
+            fail("trailing characters after JSON value");
+        }
+        return value;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& message) const
+    {
+        throw json_error("json: " + message + " at byte " + std::to_string(pos_));
+    }
+
+    void skip_whitespace()
+    {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r') {
+                break;
+            }
+            ++pos_;
+        }
+    }
+
+    char peek()
+    {
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of input");
+        }
+        return text_[pos_];
+    }
+
+    void expect(char c)
+    {
+        if (peek() != c) {
+            fail(std::string("expected '") + c + "'");
+        }
+        ++pos_;
+    }
+
+    bool consume_literal(std::string_view literal)
+    {
+        if (text_.substr(pos_, literal.size()) != literal) {
+            return false;
+        }
+        pos_ += literal.size();
+        return true;
+    }
+
+    json parse_value(std::size_t depth)
+    {
+        if (depth > max_depth_) {
+            fail("nesting deeper than " + std::to_string(max_depth_));
+        }
+        skip_whitespace();
+        const char c = peek();
+        switch (c) {
+        case '{':
+            return parse_object(depth);
+        case '[':
+            return parse_array(depth);
+        case '"':
+            return json(parse_string());
+        case 't':
+            if (consume_literal("true")) {
+                return json(true);
+            }
+            fail("invalid literal");
+        case 'f':
+            if (consume_literal("false")) {
+                return json(false);
+            }
+            fail("invalid literal");
+        case 'n':
+            if (consume_literal("null")) {
+                return json(nullptr);
+            }
+            fail("invalid literal");
+        default:
+            return parse_number();
+        }
+    }
+
+    json parse_object(std::size_t depth)
+    {
+        expect('{');
+        json value = json::object();
+        skip_whitespace();
+        if (peek() == '}') {
+            ++pos_;
+            return value;
+        }
+        while (true) {
+            skip_whitespace();
+            if (peek() != '"') {
+                fail("expected object key");
+            }
+            std::string key = parse_string();
+            skip_whitespace();
+            expect(':');
+            json field = parse_value(depth + 1);
+            // First binding wins: a malicious duplicate cannot shadow a
+            // field already validated.
+            if (value.find(key) == nullptr) {
+                value.set(key, std::move(field));
+            }
+            skip_whitespace();
+            const char next = peek();
+            if (next == ',') {
+                ++pos_;
+                continue;
+            }
+            if (next == '}') {
+                ++pos_;
+                return value;
+            }
+            fail("expected ',' or '}' in object");
+        }
+    }
+
+    json parse_array(std::size_t depth)
+    {
+        expect('[');
+        json value = json::array();
+        skip_whitespace();
+        if (peek() == ']') {
+            ++pos_;
+            return value;
+        }
+        while (true) {
+            value.push_back(parse_value(depth + 1));
+            skip_whitespace();
+            const char next = peek();
+            if (next == ',') {
+                ++pos_;
+                continue;
+            }
+            if (next == ']') {
+                ++pos_;
+                return value;
+            }
+            fail("expected ',' or ']' in array");
+        }
+    }
+
+    std::string parse_string()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size()) {
+                fail("unterminated string");
+            }
+            const char c = text_[pos_++];
+            if (c == '"') {
+                return out;
+            }
+            if (static_cast<unsigned char>(c) < 0x20) {
+                --pos_;
+                fail("unescaped control character in string");
+            }
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size()) {
+                fail("unterminated escape");
+            }
+            const char escape = text_[pos_++];
+            switch (escape) {
+            case '"':
+                out += '"';
+                break;
+            case '\\':
+                out += '\\';
+                break;
+            case '/':
+                out += '/';
+                break;
+            case 'b':
+                out += '\b';
+                break;
+            case 'f':
+                out += '\f';
+                break;
+            case 'n':
+                out += '\n';
+                break;
+            case 'r':
+                out += '\r';
+                break;
+            case 't':
+                out += '\t';
+                break;
+            case 'u':
+                append_codepoint(out, parse_hex4());
+                break;
+            default:
+                pos_ -= 2;
+                fail("invalid escape");
+            }
+        }
+    }
+
+    unsigned parse_hex4()
+    {
+        unsigned code = 0;
+        for (int i = 0; i < 4; ++i) {
+            if (pos_ >= text_.size()) {
+                fail("unterminated \\u escape");
+            }
+            const char c = text_[pos_++];
+            code <<= 4;
+            if (c >= '0' && c <= '9') {
+                code |= static_cast<unsigned>(c - '0');
+            } else if (c >= 'a' && c <= 'f') {
+                code |= static_cast<unsigned>(c - 'a' + 10);
+            } else if (c >= 'A' && c <= 'F') {
+                code |= static_cast<unsigned>(c - 'A' + 10);
+            } else {
+                --pos_;
+                fail("invalid \\u escape digit");
+            }
+        }
+        return code;
+    }
+
+    static void append_codepoint(std::string& out, unsigned code)
+    {
+        // BMP only; surrogates encode as-is into the replacement range is
+        // out of scope for a machine protocol — emit UTF-8 for the unit.
+        if (code < 0x80) {
+            out += static_cast<char>(code);
+        } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        }
+    }
+
+    json parse_number()
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-') {
+            ++pos_;
+        }
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+                c == '+' || c == '-') {
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        if (pos_ == start || (text_[start] == '-' && pos_ == start + 1)) {
+            fail("invalid value");
+        }
+        const std::string token(text_.substr(start, pos_ - start));
+        char* end = nullptr;
+        const double value = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size()) {
+            pos_ = start;
+            fail("invalid number");
+        }
+        return json(value);
+    }
+
+    std::string_view text_;
+    std::size_t max_depth_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::string json::dump() const
+{
+    std::string out;
+    append_value(out, *this);
+    return out;
+}
+
+json json::parse(std::string_view text, std::size_t max_depth)
+{
+    return parser(text, max_depth).run();
+}
+
+} // namespace fcqss::svc

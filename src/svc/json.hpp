@@ -1,0 +1,102 @@
+// fcqss — svc/json.hpp
+// Minimal JSON for the service protocol: one value type, a strict parser
+// with nesting/size discipline, and a compact writer.  The protocol is
+// line-delimited JSON over untrusted descriptors, so the parser is the
+// first thing adversarial bytes hit — it never recurses past
+// `max_depth`, never reads past the input, and reports every syntax
+// problem as json_error (a base::parse_error) with a byte offset.
+//
+// Objects preserve insertion order (replies render fields in a stable,
+// documented order) and keep the first binding of a duplicated key.
+// Numbers are doubles, which covers every value the protocol carries
+// (request ids fit 53 bits by construction).
+#ifndef FCQSS_SVC_JSON_HPP
+#define FCQSS_SVC_JSON_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "base/error.hpp"
+
+namespace fcqss::svc {
+
+/// Syntax or nesting violation in JSON text; `what()` carries the byte
+/// offset of the problem.
+class json_error : public fcqss::error {
+public:
+    using fcqss::error::error;
+};
+
+class json {
+public:
+    enum class kind { null, boolean, number, string, array, object };
+
+    using member = std::pair<std::string, json>;
+
+    json() = default;
+    json(std::nullptr_t) {}
+    json(bool value) : kind_(kind::boolean), bool_(value) {}
+    json(double value) : kind_(kind::number), number_(value) {}
+    json(int value) : kind_(kind::number), number_(value) {}
+    json(std::uint64_t value)
+        : kind_(kind::number), number_(static_cast<double>(value))
+    {
+    }
+    json(std::string value) : kind_(kind::string), string_(std::move(value)) {}
+    json(std::string_view value) : kind_(kind::string), string_(value) {}
+    json(const char* value) : kind_(kind::string), string_(value) {}
+
+    [[nodiscard]] static json array();
+    [[nodiscard]] static json object();
+
+    [[nodiscard]] kind type() const noexcept { return kind_; }
+    [[nodiscard]] bool is_null() const noexcept { return kind_ == kind::null; }
+    [[nodiscard]] bool is_object() const noexcept { return kind_ == kind::object; }
+
+    // Typed accessors; defaulted reads make optional protocol fields easy.
+    [[nodiscard]] bool as_bool(bool fallback = false) const;
+    [[nodiscard]] double as_number(double fallback = 0) const;
+    [[nodiscard]] const std::string& as_string() const; // empty if not a string
+
+    [[nodiscard]] const std::vector<json>& items() const { return items_; }
+    [[nodiscard]] const std::vector<member>& members() const { return members_; }
+
+    /// Object field lookup (first binding); nullptr when absent or when
+    /// this value is not an object.
+    [[nodiscard]] const json* find(std::string_view key) const;
+
+    /// Object field assignment: overwrites the first existing binding or
+    /// appends a new one (insertion order is what dump() renders).
+    void set(std::string_view key, json value);
+
+    /// Array append.
+    void push_back(json value);
+
+    /// Compact single-line rendering (no spaces, \uXXXX for control
+    /// characters) — one dump() per protocol line.
+    [[nodiscard]] std::string dump() const;
+
+    /// Strict parse of exactly one JSON value spanning the whole input
+    /// (trailing non-whitespace is an error).  Throws json_error.
+    [[nodiscard]] static json parse(std::string_view text,
+                                    std::size_t max_depth = 32);
+
+private:
+    kind kind_ = kind::null;
+    bool bool_ = false;
+    double number_ = 0;
+    std::string string_;
+    std::vector<json> items_;
+    std::vector<member> members_;
+};
+
+/// Escapes `text` into a JSON string literal body (no surrounding quotes).
+void append_escaped(std::string& out, std::string_view text);
+
+} // namespace fcqss::svc
+
+#endif // FCQSS_SVC_JSON_HPP

@@ -1,0 +1,55 @@
+// fcqss — svc/server.hpp
+// Transports for the service protocol.  Two ways to run the daemon:
+//
+//   serve_stdio()  one session over a pair of file descriptors (stdin/
+//                  stdout for `pn_tool serve`; pipes in tests).  Returns
+//                  when the peer closes its end or sends {"op":"shutdown"};
+//                  either way the service drains before the function
+//                  returns, so every accepted request has replied.
+//
+//   serve_tcp()    a listening socket on 127.0.0.1; one reader thread per
+//                  connection, all sharing the same pipeline::service (and
+//                  therefore one dedupe table and one bounded queue).  A
+//                  shutdown request from any connection stops the listener
+//                  and drains.  Path-based synthesize requests are refused
+//                  on TCP.
+//
+// Output discipline: every event is written as one atomic line (a single
+// write() of "...\n") under a per-connection mutex — worker-thread done
+// events never interleave bytes with reader-thread accepted events.
+// Input discipline: lines longer than max_line_bytes are discarded with
+// an error event (the remainder of the oversized line is skimmed, the
+// connection survives) — an adversarial client cannot balloon memory.
+#ifndef FCQSS_SVC_SERVER_HPP
+#define FCQSS_SVC_SERVER_HPP
+
+#include <cstddef>
+
+#include "pipeline/service.hpp"
+#include "svc/protocol.hpp"
+
+namespace fcqss::svc {
+
+struct server_options {
+    session_options session{};
+    /// Bound on one request line; longer lines become error events.
+    std::size_t max_line_bytes = 16u << 20;
+};
+
+/// Runs one protocol session over raw descriptors; blocks until EOF or
+/// shutdown, then drains `service`.  Returns 0 on clean shutdown/EOF,
+/// 1 on descriptor I/O failure.
+int serve_stdio(pipeline::service& service, int in_fd, int out_fd,
+                const server_options& options = {});
+
+/// Listens on 127.0.0.1:`port` (port 0 picks a free port; the bound port
+/// is reported through `bound_port` when non-null before accepting).
+/// Blocks until a client sends shutdown, then drains.  Returns 0 on clean
+/// shutdown, 1 when the socket could not be created/bound.
+int serve_tcp(pipeline::service& service, unsigned short port,
+              const server_options& options = {},
+              unsigned short* bound_port = nullptr);
+
+} // namespace fcqss::svc
+
+#endif // FCQSS_SVC_SERVER_HPP

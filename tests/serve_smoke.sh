@@ -1,0 +1,59 @@
+#!/bin/sh
+# End-to-end smoke test for `pn_tool serve`: pipes a JSONL batch with a
+# duplicate net and a malformed request through a fresh daemon over stdio,
+# then checks the replies, the dedupe flags, and a clean shutdown.
+#
+# Usage: serve_smoke.sh /path/to/pn_tool
+set -eu
+
+pn_tool=${1:?usage: serve_smoke.sh /path/to/pn_tool}
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+# Two textually different spellings of the same net: the dedupe key is a
+# content hash of the parsed net, so the second submission must be flagged
+# `"deduplicated":true` without a second synthesis.
+net='net smoke { places { p1; p2; p3; } transitions { t1; t2; t3; t4; t5; } arcs { t1 -> p1; p1 -> t2; t2 -> p2; p1 -> t3; t3 -> p3; p2 -> t4; p3 -> t5; } }'
+same_net='net smoke {  places { p1 ; p2 ; p3 ; }  transitions { t1 ; t2 ; t3 ; t4 ; t5 ; }  arcs { t1 -> p1 ; p1 -> t2 ; t2 -> p2 ; p1 -> t3 ; t3 -> p3 ; p2 -> t4 ; p3 -> t5 ; } }'
+
+{
+    printf '{"op":"synthesize","id":"a","net":"%s"}\n' "$net"
+    printf '{"op":"synthesize","id":"b","net":"%s"}\n' "$same_net"
+    printf 'this is not json\n'
+    printf '{"op":"synthesize","id":"c"}\n'
+    printf '{"op":"stats"}\n'
+    printf '{"op":"shutdown"}\n'
+} | "$pn_tool" serve --jobs 2 --max-allocations 4096 > "$workdir/replies.jsonl" \
+    || { echo "FAIL: serve exited non-zero"; exit 1; }
+
+replies=$workdir/replies.jsonl
+check() {
+    pattern=$1
+    expected=$2
+    what=$3
+    got=$(grep -c -- "$pattern" "$replies" || true)
+    if [ "$got" -ne "$expected" ]; then
+        echo "FAIL: expected $expected x $what, got $got"
+        echo "--- replies ---"
+        cat "$replies"
+        exit 1
+    fi
+}
+
+check '"event":"accepted"' 2 'accepted events'
+check '"event":"done"' 2 'done events'
+check '"status":"ok"' 2 'successful syntheses'
+check '"deduplicated":true' 1 'deduplicated reply'
+check '"deduplicated":false' 1 'reply that ran the one synthesis'
+check '"event":"error"' 2 'error events (bad JSON + missing net)'
+check '"event":"stats"' 1 'stats event'
+check '"event":"bye"' 1 'bye event'
+
+# The bye must be the final line: shutdown drains before closing the stream.
+last=$(tail -n 1 "$replies")
+case $last in
+    *'"event":"bye"'*) ;;
+    *) echo "FAIL: last line is not the bye event: $last"; exit 1 ;;
+esac
+
+echo "PASS: serve smoke"

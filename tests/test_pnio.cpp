@@ -1,12 +1,15 @@
 // Unit tests for the `.pn` text format (lexer, parser, writer) and DOT export.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <string>
 
 #include "base/error.hpp"
 #include "base/strings.hpp"
 #include "nets/paper_nets.hpp"
+#include "pipeline/net_generator.hpp"
 #include "pn/net_class.hpp"
 #include "pn/structure.hpp"
 #include "pnio/dot.hpp"
@@ -229,6 +232,128 @@ TEST_P(parser_fuzz, never_crashes)
 }
 
 INSTANTIATE_TEST_SUITE_P(soups, parser_fuzz, ::testing::Range(0, 50));
+
+// The writer emits exactly the text the parser accepts: every generated
+// net must survive parse(write(net)) with a byte-identical re-rendering.
+TEST(parser, generator_round_trip)
+{
+    for (const auto family :
+         {pipeline::net_family::marked_graph, pipeline::net_family::free_choice,
+          pipeline::net_family::choice_heavy}) {
+        pipeline::generator_options options;
+        options.family = family;
+        options.token_load = 2;
+        options.defect_percent = 25; // defective nets must round-trip too
+        pipeline::net_generator generator(7, options);
+        for (int i = 0; i < 8; ++i) {
+            const pn::petri_net net = generator.next();
+            const std::string text = write_net(net);
+            const pn::petri_net reparsed = parse_net(text);
+            EXPECT_EQ(write_net(reparsed), text)
+                << "family " << pipeline::to_string(family) << " net " << i;
+        }
+    }
+}
+
+// Cutting a valid model at any byte must yield a clean parse_error (or a
+// smaller-but-valid model), never a crash or an out-of-range read.
+TEST(parser, truncation_sweep_never_crashes)
+{
+    pipeline::net_generator generator(11, {});
+    const std::string source = write_net(generator.next());
+    ASSERT_GT(source.size(), 50u);
+    for (std::size_t cut = 0; cut < source.size(); ++cut) {
+        try {
+            (void)parse_net(source.substr(0, cut));
+        } catch (const error&) {
+            // any fcqss error (parse/model) is an acceptable verdict
+        }
+    }
+}
+
+// Deterministic binary garbage — including NUL bytes and high bit patterns
+// — must always produce a clean error, never UB.
+TEST(parser, binary_garbage_never_crashes)
+{
+    std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+    const auto next_byte = [&state] {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        return static_cast<char>((state * 0x2545f4914f6cdd1dULL) >> 56);
+    };
+    for (int round = 0; round < 64; ++round) {
+        std::string soup(1 + round * 7, '\0');
+        for (char& c : soup) {
+            c = next_byte();
+        }
+        try {
+            (void)parse_net(soup);
+        } catch (const error&) {
+        }
+    }
+}
+
+// -- parse limits: adversarial input must hit resource_limit_error ---------
+
+TEST(limits, oversized_input_is_rejected_up_front)
+{
+    parse_limits limits;
+    limits.max_input_bytes = 64;
+    const std::string big(65, ' ');
+    EXPECT_THROW((void)tokenize(big, limits), resource_limit_error);
+    EXPECT_THROW((void)parse_net(big, limits), resource_limit_error);
+    // At the bound (all whitespace) the input tokenizes fine.
+    EXPECT_NO_THROW((void)tokenize(std::string(64, ' '), limits));
+}
+
+TEST(limits, token_flood_is_bounded)
+{
+    parse_limits limits;
+    limits.max_tokens = 100;
+    std::string flood = "net x { places { ";
+    for (int i = 0; i < 200; ++i) {
+        flood += "p" + std::to_string(i) + "; ";
+    }
+    flood += "} }";
+    EXPECT_THROW((void)parse_net(flood, limits), resource_limit_error);
+}
+
+TEST(limits, element_counts_are_bounded)
+{
+    const auto net_with = [](int places, int transitions, int arcs) {
+        std::string text = "net x {\n  places { ";
+        for (int i = 0; i < places; ++i) {
+            text += "p" + std::to_string(i) + "; ";
+        }
+        text += "}\n  transitions { ";
+        for (int i = 0; i < transitions; ++i) {
+            text += "t" + std::to_string(i) + "; ";
+        }
+        text += "}\n  arcs { ";
+        for (int i = 0; i < arcs; ++i) {
+            // distinct arcs, so the limit trips before any duplicate check
+            text += "p" + std::to_string(i % places) + " -> t" +
+                    std::to_string(i % transitions) + " * " +
+                    std::to_string(i + 1) + "; ";
+        }
+        text += "}\n}\n";
+        return text;
+    };
+
+    parse_limits limits;
+    limits.max_places = 4;
+    EXPECT_THROW((void)parse_net(net_with(5, 1, 0), limits), resource_limit_error);
+    EXPECT_NO_THROW((void)parse_net(net_with(4, 1, 0), limits));
+
+    limits = parse_limits{};
+    limits.max_transitions = 3;
+    EXPECT_THROW((void)parse_net(net_with(1, 4, 0), limits), resource_limit_error);
+
+    limits = parse_limits{};
+    limits.max_arcs = 2;
+    EXPECT_THROW((void)parse_net(net_with(3, 3, 3), limits), resource_limit_error);
+}
 
 TEST(strings, helpers)
 {

@@ -72,18 +72,19 @@ def main() -> int:
     parser.add_argument(
         "--metric",
         default=(
-            r"(states/s|nets/s|nodes/s|st/s|nets/second|/second|speedup|throughput"
-            r"|reduction ratio|ltlx ratio)"
+            r"(states/s|nets/s|nodes/s|st/s|requests/s|nets/second|/second|speedup"
+            r"|throughput|reduction ratio|ltlx ratio)"
         ),
         help="regex selecting the labels to track (default: throughput-ish rows, "
         "plus the stubborn-reduction and ltl_x ratios)",
     )
     parser.add_argument(
         "--info-metric",
-        default=r"(probe rate|shard imbalance|overhead pct|dedup hit rate)",
+        default=r"(probe rate|shard imbalance|overhead pct|dedupe? hit rate|latency ms)",
         metavar="REGEX",
         help="regex selecting labels shown with deltas but exempt from "
-        "--fail-below (default: the obs engine-health rows); empty disables",
+        "--fail-below (default: the obs engine-health and service latency "
+        "rows); empty disables",
     )
     parser.add_argument(
         "--fail-below",
