@@ -10,6 +10,7 @@
 #include "codegen/c_emitter.hpp"
 #include "codegen/task_codegen.hpp"
 #include "obs/obs.hpp"
+#include "pipeline/fuzz.hpp"
 #include "pipeline/net_generator.hpp"
 #include "pn/builder.hpp"
 #include "pn/coverability.hpp"
@@ -84,6 +85,14 @@ pn::petri_net generated_net(pipeline::net_family family, std::size_t min_transit
     case pipeline::net_family::choice_heavy:
         options.sources = 3;
         options.depth = 7;
+        break;
+    case pipeline::net_family::client_server:
+    case pipeline::net_family::layered_pipeline:
+    case pipeline::net_family::bursty_multirate:
+        // The production families size by sources x depth directly; the
+        // growth loop below widens them the same way.
+        options.sources = 8;
+        options.depth = 8;
         break;
     }
     for (;;) {
@@ -432,6 +441,40 @@ void report_obs_counters()
     benchutil::row("choice shard imbalance", text);
 }
 
+// Differential fuzz throughput (this PR's tentpole): full verdict-matrix
+// runs per second over generated+mutated nets of all six families, under
+// the harness's default tight budgets.  Tracked by bench_diff as "fuzz
+// mutants/s" — a drop means the seq/par/reduced matrix itself got slower,
+// which directly shrinks how many mutants a CI fuzz minute covers.  The
+// findings count is printed too; anything nonzero is a correctness bug.
+void report_fuzz_throughput()
+{
+    benchutil::heading("differential fuzz throughput (verdict matrix, 6 families)");
+    pipeline::fuzz_options options;
+    options.seeds = 96;
+    double best_seconds = 0.0;
+    std::size_t mutants = 0;
+    std::size_t findings = 0;
+    for (int run = 0; run < 3; ++run) {
+        const auto start = std::chrono::steady_clock::now();
+        const pipeline::fuzz_report fuzzed = pipeline::run_fuzz(options);
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start;
+        mutants = fuzzed.mutants;
+        findings = fuzzed.findings.size();
+        benchmark::DoNotOptimize(fuzzed);
+        if (run == 0 || elapsed.count() < best_seconds) {
+            best_seconds = elapsed.count();
+        }
+    }
+    const double rate = static_cast<double>(mutants) / best_seconds;
+    std::printf("  %8s %12s %10s\n", "mutants", "mutants/s", "findings");
+    std::printf("  %8zu %12.0f %10zu\n", mutants, rate, findings);
+    benchutil::row("fuzz mutants", std::to_string(mutants));
+    benchutil::row("fuzz mutants/s", std::to_string(static_cast<long long>(rate)));
+    benchutil::row("fuzz findings", std::to_string(findings));
+}
+
 void report()
 {
     report_state_space_engine();
@@ -441,6 +484,7 @@ void report()
     report_coverability();
     report_obs_overhead();
     report_obs_counters();
+    report_fuzz_throughput();
 
     benchutil::heading("T-reduction count vs number of choices (exponential)");
     std::printf("  %8s %12s %12s\n", "choices", "allocations", "reductions");

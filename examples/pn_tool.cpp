@@ -26,12 +26,23 @@
 //                    [--verbose] [--stats[=FILE]] [--trace=FILE] model.pn...
 //                                  run the full flow over many nets in
 //                                  parallel and print a batch report
-//   pn_tool generate [--seed S] [--count N] [--family fc|mg|choice]
+//   pn_tool generate [--seed S] [--count N]
+//                    [--family fc|mg|choice|client|layered|bursty]
 //                    [--sources K] [--depth D] [--tokens L] [--defects P]
 //                    [--credit C]
 //                    --out DIR     write random workload nets as .pn files
 //                                  (--credit C bounds each source to C
 //                                  firings via a seeded credit place)
+//   pn_tool fuzz     [--seeds N] [--seed-begin S] [--family F]...
+//                    [--mutations M] [--max-states S] [--threads N]
+//                    [--no-shrink] [--no-synthesis] [--out DIR]
+//                                  differential fuzzing: mutate generated
+//                                  nets (pn/mutator.hpp) and require
+//                                  agreeing verdicts across {sequential,
+//                                  parallel} x {none, deadlock, ltl_x} plus
+//                                  a clean synthesis verdict; disagreements
+//                                  are shrunk to minimal .pn reproducers in
+//                                  DIR (default fuzz-reproducers/), exit 1
 //   pn_tool serve    [--jobs N] [--queue N] [--cache N]
 //                    [--max-allocations A] [--no-codegen] [--no-code]
 //                    [--max-input-bytes B] [--tcp PORT]
@@ -64,6 +75,7 @@
 #include "codegen/c_emitter.hpp"
 #include "codegen/task_codegen.hpp"
 #include "obs/obs.hpp"
+#include "pipeline/fuzz.hpp"
 #include "pipeline/net_generator.hpp"
 #include "pipeline/service.hpp"
 #include "pipeline/synthesis_pipeline.hpp"
@@ -223,6 +235,9 @@ constexpr cli::enum_choice<pipeline::net_family> family_choices[] = {
     {"fc", pipeline::net_family::free_choice},
     {"mg", pipeline::net_family::marked_graph},
     {"choice", pipeline::net_family::choice_heavy},
+    {"client", pipeline::net_family::client_server},
+    {"layered", pipeline::net_family::layered_pipeline},
+    {"bursty", pipeline::net_family::bursty_multirate},
 };
 
 int cmd_explore(int argc, char** argv)
@@ -413,6 +428,84 @@ int cmd_generate(int argc, char** argv)
     return 0;
 }
 
+// ------------------------------------------------------------------ fuzz --
+
+int cmd_fuzz(int argc, char** argv)
+{
+    pipeline::fuzz_options options;
+    cli::telemetry_options telemetry;
+    std::string out_dir = "fuzz-reproducers";
+    bool verbose = false;
+    for (int i = 2; i < argc; ++i) {
+        long value = 0;
+        pipeline::net_family family = pipeline::net_family::free_choice;
+        if (cli::int_option(argc, argv, i, "--seeds", value)) {
+            options.seeds = value > 0 ? static_cast<std::size_t>(value) : 1;
+        } else if (cli::int_option(argc, argv, i, "--seed-begin", value)) {
+            options.seed_begin = value >= 0 ? static_cast<std::uint64_t>(value) : 1;
+        } else if (cli::int_option(argc, argv, i, "--mutations", value)) {
+            options.mutation.count = value >= 0 ? static_cast<int>(value) : 0;
+        } else if (cli::int_option(argc, argv, i, "--max-states", value)) {
+            options.max_states = value > 0 ? static_cast<std::size_t>(value) : 1;
+        } else if (cli::int_option(argc, argv, i, "--threads", value)) {
+            options.threads = value > 1 ? static_cast<std::size_t>(value) : 2;
+        } else if (cli::int_option(argc, argv, i, "--max-allocations", value)) {
+            options.max_allocations = value > 0 ? static_cast<std::size_t>(value) : 1;
+        } else if (cli::enum_option(argc, argv, i, "--family", family_choices,
+                                    family)) {
+            options.families.push_back(family);
+        } else if (std::strcmp(argv[i], "--no-shrink") == 0) {
+            options.shrink = false;
+        } else if (std::strcmp(argv[i], "--no-synthesis") == 0) {
+            options.run_synthesis = false;
+        } else if (std::strcmp(argv[i], "--verbose") == 0) {
+            verbose = true;
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out_dir = argv[++i];
+        } else if (telemetry.parse(argv[i])) {
+        } else {
+            std::fprintf(stderr, "unknown fuzz option '%s'\n", argv[i]);
+            return 2;
+        }
+    }
+    if (const int status = telemetry.enable()) {
+        return status;
+    }
+
+    // Reproducers stream to disk as they are minimized, so even a run
+    // killed by a CI timeout leaves its findings behind.
+    bool write_failed = false;
+    const auto save_finding = [&](const pipeline::fuzz_finding& finding) {
+        std::filesystem::create_directories(out_dir);
+        const std::string path = out_dir + "/" + finding.net_name + "_seed" +
+                                 std::to_string(finding.seed) + ".pn";
+        std::fprintf(stderr, "FINDING seed %llu family %s: %s\n  reproducer: %s\n",
+                     static_cast<unsigned long long>(finding.seed),
+                     pipeline::to_string(finding.family), finding.reason.c_str(),
+                     path.c_str());
+        write_failed = cli::write_text_file(path, finding.reproducer) != 0 ||
+                       write_failed;
+    };
+
+    const pipeline::fuzz_report report = pipeline::run_fuzz(options, save_finding);
+    if (verbose || !report.clean()) {
+        for (const pipeline::fuzz_finding& finding : report.findings) {
+            std::printf("disagreement at seed %llu (%s, %zu mutations, %zu shrink "
+                        "steps): %s\n",
+                        static_cast<unsigned long long>(finding.seed),
+                        pipeline::to_string(finding.family),
+                        finding.mutations_applied, finding.shrink_steps,
+                        finding.reason.c_str());
+        }
+    }
+    std::printf("fuzz: %zu mutants, %zu matrix runs, %zu disagreements\n",
+                report.mutants, report.matrix_runs, report.findings.size());
+    if (const int status = telemetry.emit()) {
+        return status;
+    }
+    return report.clean() && !write_failed ? 0 : 1;
+}
+
 // ----------------------------------------------------------------- serve --
 
 int cmd_serve(int argc, char** argv)
@@ -497,10 +590,17 @@ constexpr cli::command commands[] = {
      "                  [--stats[=FILE]] [--trace=FILE] model.pn...",
      cmd_batch},
     {"generate",
-     "[--seed S] [--count N] [--family fc|mg|choice] [--sources K]\n"
-     "                  [--depth D] [--tokens L] [--defects P] [--credit C] "
-     "--out DIR",
+     "[--seed S] [--count N] [--family fc|mg|choice|client|layered|bursty]\n"
+     "                  [--sources K] [--depth D] [--tokens L] [--defects P] "
+     "[--credit C]\n"
+     "                  --out DIR",
      cmd_generate},
+    {"fuzz",
+     "[--seeds N] [--seed-begin S] [--family F]... [--mutations M]\n"
+     "                  [--max-states S] [--threads N] [--max-allocations A]\n"
+     "                  [--no-shrink] [--no-synthesis] [--verbose] [--out DIR]\n"
+     "                  [--stats[=FILE]] [--trace=FILE]",
+     cmd_fuzz},
     {"serve",
      "[--jobs N] [--queue N] [--cache N] [--max-allocations A]\n"
      "                  [--no-codegen] [--no-code] [--max-input-bytes B] "

@@ -19,6 +19,12 @@ const char* to_string(net_family family)
         return "fc";
     case net_family::choice_heavy:
         return "choice";
+    case net_family::client_server:
+        return "client";
+    case net_family::layered_pipeline:
+        return "layered";
+    case net_family::bursty_multirate:
+        return "bursty";
     }
     return "?";
 }
@@ -44,6 +50,14 @@ public:
         case net_family::choice_heavy:
             choice_percent_ = 70;
             fork_percent_ = 10;
+            break;
+        case net_family::client_server:
+        case net_family::layered_pipeline:
+        case net_family::bursty_multirate:
+            // The production-shaped families are built by dedicated
+            // builders below; the grower only serves defect injection.
+            choice_percent_ = 0;
+            fork_percent_ = 0;
             break;
         }
     }
@@ -164,6 +178,135 @@ private:
     std::vector<pn::transition_id> extra_sources_;
 };
 
+// -- Production-shaped families ---------------------------------------------
+//
+// Built whole instead of grown: their shapes (shared resource pools, staged
+// fan-out/fan-in, bursty buffers) do not decompose into the per-source
+// layered growth above.  Token-load sprinkling matches grower semantics
+// (30% of eligible places, 1..token_load tokens) so the knob reads the same
+// across all six families.
+
+void maybe_load(pn::net_builder& builder, prng& rng, const generator_options& options,
+                pn::place_id p)
+{
+    if (options.token_load > 0 && rng.below(100) < 30) {
+        builder.set_initial_tokens(p, rng.range(1, options.token_load));
+    }
+}
+
+/// The ATM app generalized: `sources` request classes contend for one
+/// shared pool of `depth` tellers.  grab_m consumes a request *and* a
+/// teller, done_m returns the teller — a join on a shared place, so the
+/// family is non-free-choice by design (the synthesis path must reject it;
+/// the engines explore it like any other net).
+void build_client_server(pn::net_builder& builder, prng& rng,
+                         const generator_options& options,
+                         std::vector<pn::transition_id>& sources)
+{
+    const auto pool =
+        builder.add_place("tellers", std::max(1, options.depth));
+    for (int m = 0; m < options.sources; ++m) {
+        const std::string id = std::to_string(m);
+        const auto src = builder.add_transition("req_src" + id);
+        sources.push_back(src);
+        const auto req = builder.add_place("req" + id);
+        builder.add_arc(src, req);
+        const auto grab = builder.add_transition("grab" + id);
+        builder.add_arc(req, grab);
+        builder.add_arc(pool, grab);
+        const auto work = builder.add_place("work" + id);
+        builder.add_arc(grab, work);
+        const auto done = builder.add_transition("done" + id);
+        builder.add_arc(work, done);
+        builder.add_arc(done, pool);
+        const auto resp = builder.add_place("resp" + id);
+        builder.add_arc(done, resp);
+        const auto reply = builder.add_transition("reply" + id);
+        builder.add_arc(resp, reply);
+        maybe_load(builder, rng, options, req);
+        maybe_load(builder, rng, options, resp);
+    }
+}
+
+/// Staged dataflow: `depth` alternating fan-out/fan-in layers per source.
+/// Every place keeps exactly one producer and one consumer with matched
+/// weights, so the family is a weight-consistent marked graph —
+/// schedulable by design, with levels far wider than the chain-shaped mg
+/// family.
+void build_layered_pipeline(pn::net_builder& builder, prng& rng,
+                            const generator_options& options,
+                            std::vector<pn::transition_id>& sources)
+{
+    int serial = 0;
+    for (int s = 0; s < options.sources; ++s) {
+        std::vector<pn::transition_id> stage{
+            builder.add_transition("stage_src" + std::to_string(s))};
+        sources.push_back(stage.front());
+        for (int layer = 0; layer < options.depth; ++layer) {
+            if (stage.size() == 1) {
+                // Fan out: one transition feeds `width` parallel branches.
+                const auto width = static_cast<int>(
+                    rng.range(2, std::max(2, options.max_alternatives)));
+                std::vector<pn::transition_id> next;
+                next.reserve(static_cast<std::size_t>(width));
+                for (int i = 0; i < width; ++i) {
+                    const std::string id = std::to_string(serial++);
+                    const auto p = builder.add_place("lp" + id);
+                    const auto t = builder.add_transition("lt" + id);
+                    const std::int64_t w = rng.range(1, options.max_weight);
+                    builder.add_arc(stage.front(), p, w);
+                    builder.add_arc(p, t, w);
+                    maybe_load(builder, rng, options, p);
+                    next.push_back(t);
+                }
+                stage = std::move(next);
+            } else {
+                // Fan in: every branch joins into one transition.
+                const auto join =
+                    builder.add_transition("lj" + std::to_string(serial++));
+                for (const pn::transition_id t : stage) {
+                    const auto p = builder.add_place("lp" + std::to_string(serial++));
+                    const std::int64_t w = rng.range(1, options.max_weight);
+                    builder.add_arc(t, p, w);
+                    builder.add_arc(p, join, w);
+                }
+                stage.assign(1, join);
+            }
+        }
+    }
+}
+
+/// Bursty multirate feeds: each source emits bursts of 2*max_weight tokens
+/// into a buffer drained one at a time, followed by a chain of
+/// rate-changing stages (independent produce/consume weights).  Consistent
+/// by construction; the rate mismatches stress multirate scheduling.
+void build_bursty_multirate(pn::net_builder& builder, prng& rng,
+                            const generator_options& options,
+                            std::vector<pn::transition_id>& sources)
+{
+    const std::int64_t burst = std::max<std::int64_t>(2, 2 * options.max_weight);
+    int serial = 0;
+    for (int s = 0; s < options.sources; ++s) {
+        const std::string id = std::to_string(s);
+        const auto src = builder.add_transition("burst_src" + id);
+        sources.push_back(src);
+        const auto buffer = builder.add_place("buf" + id);
+        builder.add_arc(src, buffer, burst);
+        auto prev = builder.add_transition("drain" + id);
+        builder.add_arc(buffer, prev);
+        maybe_load(builder, rng, options, buffer);
+        for (int stage = 0; stage < options.depth; ++stage) {
+            const std::string sid = std::to_string(serial++);
+            const auto p = builder.add_place("bp" + sid);
+            const auto t = builder.add_transition("bt" + sid);
+            builder.add_arc(prev, p, rng.range(1, options.max_weight));
+            builder.add_arc(p, t, rng.range(1, options.max_weight));
+            maybe_load(builder, rng, options, p);
+            prev = t;
+        }
+    }
+}
+
 } // namespace
 
 net_generator::net_generator(std::uint64_t seed, generator_options options)
@@ -192,10 +335,25 @@ pn::petri_net net_generator::next()
     grower g(builder, rng, options_);
     std::vector<pn::transition_id> sources;
     sources.reserve(static_cast<std::size_t>(options_.sources));
-    for (int s = 0; s < options_.sources; ++s) {
-        const auto source = builder.add_transition("src" + std::to_string(s));
-        sources.push_back(source);
-        g.grow(source, options_.depth);
+    switch (options_.family) {
+    case net_family::client_server:
+        build_client_server(builder, rng, options_, sources);
+        break;
+    case net_family::layered_pipeline:
+        build_layered_pipeline(builder, rng, options_, sources);
+        break;
+    case net_family::bursty_multirate:
+        build_bursty_multirate(builder, rng, options_, sources);
+        break;
+    default:
+        // The paper-shaped families: layered random growth below each
+        // source (byte-identical to the pre-production-family generator).
+        for (int s = 0; s < options_.sources; ++s) {
+            const auto source = builder.add_transition("src" + std::to_string(s));
+            sources.push_back(source);
+            g.grow(source, options_.depth);
+        }
+        break;
     }
     if (options_.defect_percent > 0 &&
         rng.below(100) < static_cast<std::uint64_t>(options_.defect_percent)) {

@@ -22,7 +22,10 @@
 
 namespace fcqss::pipeline {
 
-/// Structural family of a generated net.
+/// Structural family of a generated net.  The first three are paper-shaped
+/// (layered growth below sources); the last three model production traffic
+/// — request/response servers, staged dataflow, bursty multirate feeds —
+/// so batch runs and the fuzz harness sweep system-shaped scenarios too.
 enum class net_family {
     /// No conflicts at all: chains and fork/joins only (SDF-shaped).
     marked_graph,
@@ -31,6 +34,22 @@ enum class net_family {
     /// Conflict-dominated: most places become choice clusters, with up to
     /// four alternatives each — stresses the allocation enumeration.
     choice_heavy,
+    /// The ATM app generalized: `sources` request classes contending for a
+    /// shared pool of tellers (a resource place holding `depth` tokens).
+    /// The shared pool makes the net deliberately non-free-choice — the
+    /// production shape every synthesis stage must reject cleanly — while
+    /// the engines still explore its (finite, credit-bounded) state space.
+    client_server,
+    /// Staged dataflow: `depth` alternating fan-out/fan-in layers of width
+    /// up to `max_alternatives`.  Every place keeps one producer and one
+    /// consumer, so the family is a marked graph — schedulable by design,
+    /// with much wider levels than the chain-shaped mg family.
+    layered_pipeline,
+    /// Bursty multirate feeds: each source emits bursts of `max_weight`
+    /// tokens into a buffer drained one token at a time through a chain of
+    /// rate-changing stages (weight-a in, weight-b out).  Consistent by
+    /// construction, with rate mismatches the scheduler must cover.
+    bursty_multirate,
 };
 
 [[nodiscard]] const char* to_string(net_family family);

@@ -86,7 +86,9 @@ TEST(executor, propagates_job_exceptions_after_draining)
 TEST(net_generator, deterministic_under_fixed_seed)
 {
     for (const net_family family :
-         {net_family::marked_graph, net_family::free_choice, net_family::choice_heavy}) {
+         {net_family::marked_graph, net_family::free_choice, net_family::choice_heavy,
+          net_family::client_server, net_family::layered_pipeline,
+          net_family::bursty_multirate}) {
         generator_options options;
         options.family = family;
         options.token_load = 2;
@@ -136,6 +138,87 @@ TEST(net_generator, families_have_their_shape)
         }
     }
     EXPECT_GT(choices, 0u);
+}
+
+TEST(net_generator, family_names_are_stable)
+{
+    EXPECT_STREQ(to_string(net_family::marked_graph), "mg");
+    EXPECT_STREQ(to_string(net_family::free_choice), "fc");
+    EXPECT_STREQ(to_string(net_family::choice_heavy), "choice");
+    EXPECT_STREQ(to_string(net_family::client_server), "client");
+    EXPECT_STREQ(to_string(net_family::layered_pipeline), "layered");
+    EXPECT_STREQ(to_string(net_family::bursty_multirate), "bursty");
+}
+
+TEST(net_generator, production_families_have_their_shape)
+{
+    // client_server: the shared teller pool is a place with several
+    // consumers whose presets differ — deliberately non-free-choice.
+    generator_options cs;
+    cs.family = net_family::client_server;
+    cs.defect_percent = 0;
+    net_generator client_gen(5, cs);
+    for (int i = 0; i < 4; ++i) {
+        const pn::petri_net net = client_gen.next();
+        EXPECT_FALSE(pn::is_free_choice(net)) << net.name();
+        const pn::place_id pool = net.find_place("tellers");
+        ASSERT_TRUE(pool.valid()) << net.name();
+        EXPECT_GT(net.consumers(pool).size(), 1u);
+        EXPECT_EQ(net.initial_tokens(pool), cs.depth);
+    }
+
+    // layered_pipeline: fan-out/fan-in with matched weights, every place a
+    // single producer/consumer pair — a marked graph wider than `mg`.
+    generator_options lp;
+    lp.family = net_family::layered_pipeline;
+    lp.defect_percent = 0;
+    net_generator layered_gen(5, lp);
+    for (int i = 0; i < 4; ++i) {
+        const pn::petri_net net = layered_gen.next();
+        EXPECT_TRUE(pn::is_marked_graph(net)) << net.name();
+    }
+
+    // bursty_multirate: weighted burst arcs feed buffers drained one token
+    // at a time, so some arc weight exceeds 1 on every net.
+    generator_options bm;
+    bm.family = net_family::bursty_multirate;
+    bm.defect_percent = 0;
+    net_generator bursty_gen(5, bm);
+    for (int i = 0; i < 4; ++i) {
+        const pn::petri_net net = bursty_gen.next();
+        bool weighted = false;
+        for (const pn::transition_id t : net.transitions()) {
+            for (const pn::place_weight& out : net.outputs(t)) {
+                weighted |= out.weight > 1;
+            }
+        }
+        EXPECT_TRUE(weighted) << net.name();
+    }
+}
+
+TEST(net_generator, production_families_reach_clean_pipeline_verdicts)
+{
+    // No production-shaped net may escape as pipeline_status::failed: every
+    // one either synthesizes or is rejected by a typed stage verdict.
+    const synthesis_pipeline pipe;
+    std::size_t rejected_client = 0;
+    for (const net_family family :
+         {net_family::client_server, net_family::layered_pipeline,
+          net_family::bursty_multirate}) {
+        generator_options options;
+        options.family = family;
+        options.source_credit = 1;
+        net_generator gen(17, options);
+        for (int i = 0; i < 4; ++i) {
+            const pipeline_result r = pipe.run_one(net_source::from_net(gen.next()));
+            EXPECT_NE(r.status, pipeline_status::failed)
+                << to_string(family) << ": " << r.diagnosis;
+            if (family == net_family::client_server) {
+                rejected_client += r.status == pipeline_status::not_free_choice;
+            }
+        }
+    }
+    EXPECT_EQ(rejected_client, 4u); // the shared pool always leaves the class
 }
 
 TEST(net_generator, defects_produce_non_free_choice_nets)

@@ -72,8 +72,8 @@ def main() -> int:
     parser.add_argument(
         "--metric",
         default=(
-            r"(states/s|nets/s|nodes/s|st/s|requests/s|nets/second|/second|speedup"
-            r"|throughput|reduction ratio|ltlx ratio)"
+            r"(states/s|nets/s|nodes/s|st/s|requests/s|mutants/s|nets/second"
+            r"|/second|speedup|throughput|reduction ratio|ltlx ratio)"
         ),
         help="regex selecting the labels to track (default: throughput-ish rows, "
         "plus the stubborn-reduction and ltl_x ratios)",
