@@ -5,6 +5,7 @@
 // and prints the measured series.
 #include "bench_util.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #include "codegen/c_emitter.hpp"
@@ -231,6 +232,79 @@ void report_parallel_engine()
         benchutil::row(prefix + "par2 speedup", speedup);
         std::snprintf(speedup, sizeof speedup, "%.2f", par4 / sequential);
         benchutil::row(prefix + "par4 speedup", speedup);
+    }
+}
+
+// Bit-identity of two compact state spaces: same ids, token spans, CSR
+// rows, truncation verdict.
+bool identical_spaces(const pn::state_space& a, const pn::state_space& b)
+{
+    if (a.state_count() != b.state_count() || a.edge_count() != b.edge_count() ||
+        a.truncated() != b.truncated()) {
+        return false;
+    }
+    for (pn::state_id s = 0; s < static_cast<pn::state_id>(a.state_count()); ++s) {
+        const auto at = a.tokens(s);
+        const auto bt = b.tokens(s);
+        if (!std::equal(at.begin(), at.end(), bt.begin(), bt.end())) {
+            return false;
+        }
+        const auto ae = a.successors(s);
+        const auto be = b.successors(s);
+        if (!std::equal(ae.begin(), ae.end(), be.begin(), be.end())) {
+            return false;
+        }
+    }
+    return true;
+}
+
+// Unordered-mode rows (this PR's tentpole): the barrier-free engine (free-
+// running shards over work-stealing inboxes plus a deterministic BFS
+// renumber pass) at 4 threads against the level-synchronous engine at 4
+// threads on the same nets, plus a bit-identity column checking the
+// renumbered result against the sequential engine.  CI gates on the
+// choice-heavy "unord4 vs par4" row staying >= 1.0 — killing the level
+// barrier must not lose throughput where levels are shallow and wide — and
+// on every "unord identical" row staying 1.
+void report_unordered_engine()
+{
+    benchutil::heading("unordered exploration (barrier-free workers + BFS renumber "
+                       "vs level-synchronous engine, 4 threads)");
+    std::printf("  %8s %8s %8s %12s %12s %9s %10s\n", "family", "|T|", "states",
+                "par4 st/s", "unord4 st/s", "unord x", "identical");
+    pn::reachability_options options{.max_markings = 60000,
+                                     .max_tokens_per_place = 1 << 20};
+    for (const pipeline::net_family family :
+         {pipeline::net_family::free_choice, pipeline::net_family::choice_heavy,
+          pipeline::net_family::marked_graph}) {
+        const pn::petri_net net = generated_net(family, 500);
+        std::size_t states = 0;
+        options.threads = 4;
+        options.order = pn::exploration_order::ordered;
+        const double leveled = engine_states_per_second(net, options, 3, states);
+        options.order = pn::exploration_order::unordered;
+        const double unordered = engine_states_per_second(net, options, 3, states);
+
+        pn::reachability_options check = options;
+        check.threads = 1;
+        check.order = pn::exploration_order::ordered;
+        const pn::state_space sequential = pn::explore_space(net, check);
+        check.threads = 4;
+        check.order = pn::exploration_order::unordered;
+        const bool identical =
+            identical_spaces(sequential, pn::explore_space(net, check));
+
+        std::printf("  %8s %8zu %8zu %12.0f %12.0f %8.2fx %10s\n",
+                    pipeline::to_string(family), net.transition_count(), states,
+                    leveled, unordered, unordered / leveled,
+                    identical ? "yes" : "NO");
+        const std::string prefix = std::string(pipeline::to_string(family)) + " ";
+        benchutil::row(prefix + "unord4 states/s",
+                       std::to_string(static_cast<long long>(unordered)));
+        char ratio[32];
+        std::snprintf(ratio, sizeof ratio, "%.2f", unordered / leveled);
+        benchutil::row(prefix + "unord4 vs par4", ratio);
+        benchutil::row(prefix + "unord identical", identical ? "1" : "0");
     }
 }
 
@@ -479,6 +553,7 @@ void report()
 {
     report_state_space_engine();
     report_parallel_engine();
+    report_unordered_engine();
     report_stubborn_reduction();
     report_ltlx_reduction();
     report_coverability();

@@ -7,6 +7,7 @@
 //   pn_tool dot      model.pn      emit graphviz
 //   pn_tool explore  [--threads N] [--max-states S] [--max-tokens K]
 //                    [--reduce none|stubborn|stubborn-ltlx]
+//                    [--order ordered|unordered]
 //                    [--stats[=FILE]] [--trace=FILE]
 //                    model.pn      explicit state-space exploration on the
 //                                  engine (N != 1 runs the sharded parallel
@@ -231,6 +232,13 @@ constexpr cli::enum_choice<reduce_mode> reduce_choices[] = {
     {"stubborn-ltlx", reduce_mode::stubborn_ltlx},
 };
 
+/// The --order spellings: level-synchronous BFS vs barrier-free expansion
+/// with a BFS renumber pass.  Both produce bit-identical graphs.
+constexpr cli::enum_choice<pn::exploration_order> order_choices[] = {
+    {"ordered", pn::exploration_order::ordered},
+    {"unordered", pn::exploration_order::unordered},
+};
+
 constexpr cli::enum_choice<pipeline::net_family> family_choices[] = {
     {"fc", pipeline::net_family::free_choice},
     {"mg", pipeline::net_family::marked_graph},
@@ -262,6 +270,8 @@ int cmd_explore(int argc, char** argv)
             options.strength = mode == reduce_mode::stubborn_ltlx
                                    ? pn::reduction_strength::ltl_x
                                    : pn::reduction_strength::deadlock;
+        } else if (cli::enum_option(argc, argv, i, "--order", order_choices,
+                                    options.order)) {
         } else if (telemetry.parse(argv[i])) {
         } else if (argv[i][0] == '-') {
             std::fprintf(stderr, "unknown explore option '%s'\n", argv[i]);
@@ -583,6 +593,7 @@ constexpr cli::command commands[] = {
     {"explore",
      "[--threads N] [--max-states S] [--max-tokens K]\n"
      "                  [--reduce none|stubborn|stubborn-ltlx]\n"
+     "                  [--order ordered|unordered]\n"
      "                  [--stats[=FILE]] [--trace=FILE] model.pn",
      cmd_explore},
     {"batch",

@@ -1,0 +1,193 @@
+// fcqss — exec/shard_queues.hpp
+// Per-shard inbox queues with work stealing: the coordination primitive
+// behind unordered (barrier-free) sharded exploration.  Each shard owns an
+// inbox of item batches; a worker *claims* a shard (preferring its home
+// range, stealing any other pending shard otherwise), drains the batches it
+// took plus whatever follow-on work they spawn, releases the shard, and
+// moves on.  The claim flag makes the claiming worker the unique owner of
+// every data structure keyed to that shard for the duration — claim and
+// release pair through one mutex, so single-owner shard state (stores,
+// frontiers, scratch) needs no locks of its own and stays TSan-clean.
+//
+// Termination is quiescence, not a barrier: an outstanding-work counter is
+// raised before a batch becomes visible (push) or when a claimant registers
+// follow-on work (add_work), and lowered only after the items are fully
+// retired (finish_work).  claim_work() blocks while work exists anywhere
+// and returns nullopt exactly when the counter hits zero — or after
+// abort(), the early-exit used when a budget invalidates the whole run.
+//
+// One mutex guards all of it.  Workers move *batches*, not items, so the
+// lock is taken a few times per thousand states; the hot per-item paths
+// (intern, expand) run entirely on claimed single-owner state.
+#ifndef FCQSS_EXEC_SHARD_QUEUES_HPP
+#define FCQSS_EXEC_SHARD_QUEUES_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace fcqss::exec {
+
+template <typename Item>
+class shard_queues {
+public:
+    explicit shard_queues(std::size_t shard_count) : shards_(shard_count) {}
+
+    shard_queues(const shard_queues&) = delete;
+    shard_queues& operator=(const shard_queues&) = delete;
+
+    [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
+
+    /// Queues a batch for shard `s`, counting its items as outstanding work
+    /// before any worker can see them (so quiescence can never be observed
+    /// with the batch in flight).  Empty batches are dropped.
+    void push(std::size_t s, std::vector<Item> batch)
+    {
+        if (batch.empty()) {
+            return;
+        }
+        {
+            std::lock_guard lock(mutex_);
+            outstanding_ += batch.size();
+            shards_[s].batches.push_back(std::move(batch));
+        }
+        work_cv_.notify_one();
+    }
+
+    /// Registers `items` units of work not represented by a queued batch
+    /// (e.g. a pre-interned root pending expansion) and marks shard `s`
+    /// claimable so some worker picks that work up.
+    void seed(std::size_t s, std::size_t items)
+    {
+        {
+            std::lock_guard lock(mutex_);
+            outstanding_ += items;
+            shards_[s].local_work = true;
+        }
+        work_cv_.notify_one();
+    }
+
+    /// Raises the outstanding count for follow-on work a claimant just
+    /// created on its own shard (a freshly interned state that still needs
+    /// expanding).  Must precede the finish_work() of the item that spawned
+    /// it, so the counter never dips to zero early.
+    void add_work(std::size_t items)
+    {
+        if (items == 0) {
+            return;
+        }
+        std::lock_guard lock(mutex_);
+        outstanding_ += items;
+    }
+
+    /// Retires `items` fully processed units; at zero every blocked
+    /// claim_work() returns nullopt.
+    void finish_work(std::size_t items)
+    {
+        if (items == 0) {
+            return;
+        }
+        bool quiescent = false;
+        {
+            std::lock_guard lock(mutex_);
+            outstanding_ -= items;
+            quiescent = outstanding_ == 0;
+        }
+        if (quiescent) {
+            work_cv_.notify_all();
+        }
+    }
+
+    struct claim {
+        std::size_t shard = 0;
+        /// Every batch queued for the shard at claim time.
+        std::vector<std::vector<Item>> batches;
+    };
+
+    /// Claims an unowned shard with pending work, preferring `home` (then
+    /// scanning upward, wrapping — distinct home hints spread workers over
+    /// disjoint shard ranges until stealing becomes necessary).  Blocks
+    /// while every pending shard is owned by someone else; returns nullopt
+    /// at quiescence or after abort().
+    [[nodiscard]] std::optional<claim> claim_work(std::size_t home)
+    {
+        std::unique_lock lock(mutex_);
+        for (;;) {
+            if (aborted_ || outstanding_ == 0) {
+                return std::nullopt;
+            }
+            for (std::size_t i = 0; i < shards_.size(); ++i) {
+                const std::size_t s = (home + i) % shards_.size();
+                shard& sh = shards_[s];
+                if (sh.claimed || (sh.batches.empty() && !sh.local_work)) {
+                    continue;
+                }
+                sh.claimed = true;
+                sh.local_work = false;
+                claim out;
+                out.shard = s;
+                out.batches.assign(std::make_move_iterator(sh.batches.begin()),
+                                   std::make_move_iterator(sh.batches.end()));
+                sh.batches.clear();
+                return out;
+            }
+            work_cv_.wait(lock);
+        }
+    }
+
+    /// Reopens shard `s` for other claimants.  The caller still owes a
+    /// finish_work() for everything it retired while holding the claim.
+    void release(std::size_t s)
+    {
+        bool pending = false;
+        {
+            std::lock_guard lock(mutex_);
+            shards_[s].claimed = false;
+            pending = !shards_[s].batches.empty() || shards_[s].local_work;
+        }
+        if (pending) {
+            // Batches that arrived while we held the shard need a claimant.
+            work_cv_.notify_one();
+        }
+    }
+
+    /// Ends the run early: every claim_work() returns nullopt regardless of
+    /// outstanding work.  Used when a budget invalidates the whole result.
+    void abort()
+    {
+        {
+            std::lock_guard lock(mutex_);
+            aborted_ = true;
+        }
+        work_cv_.notify_all();
+    }
+
+    [[nodiscard]] bool aborted() const
+    {
+        std::lock_guard lock(mutex_);
+        return aborted_;
+    }
+
+private:
+    struct shard {
+        std::deque<std::vector<Item>> batches;
+        bool claimed = false;
+        /// Work lives in shard-local structures (not the inbox): set by
+        /// seed(), cleared when claimed.
+        bool local_work = false;
+    };
+
+    mutable std::mutex mutex_;
+    std::condition_variable work_cv_;
+    std::vector<shard> shards_;
+    std::size_t outstanding_ = 0;
+    bool aborted_ = false;
+};
+
+} // namespace fcqss::exec
+
+#endif // FCQSS_EXEC_SHARD_QUEUES_HPP

@@ -41,12 +41,13 @@ const char* strength_name(pn::reduction_kind kind, pn::reduction_strength streng
     return strength == pn::reduction_strength::ltl_x ? "ltlx" : "deadlock";
 }
 
-/// Bit-identity check between the sequential and parallel cell of one
-/// reduction strength; any difference is a disagreement by itself.
+/// Bit-identity check between the sequential cell and one parallel cell
+/// (`cell` names it, e.g. "par/ltlx" or "par-unord/deadlock"); any
+/// difference is a disagreement by itself.
 std::string compare_spaces(const pn::state_space& seq, const pn::state_space& par,
-                           const char* strength)
+                           const std::string& cell)
 {
-    const std::string where = std::string("[seq vs par/") + strength + "] ";
+    const std::string where = "[seq vs " + cell + "] ";
     if (seq.state_count() != par.state_count()) {
         return where + "state counts differ: " + std::to_string(seq.state_count()) +
                " vs " + std::to_string(par.state_count());
@@ -114,7 +115,17 @@ std::string check_verdict_matrix(const pn::petri_net& net, const fuzz_options& o
         explore.threads = options.threads > 1 ? options.threads : 2;
         const pn::state_space par = pn::explore_space(net, explore);
         const char* name = strength_name(configs[c].kind, configs[c].strength);
-        if (std::string reason = compare_spaces(seq, par, name); !reason.empty()) {
+        if (std::string reason = compare_spaces(seq, par, std::string("par/") + name);
+            !reason.empty()) {
+            return reason;
+        }
+        // The unordered cell: barrier-free exploration plus the renumber
+        // pass must still be bit-identical to the sequential engine.
+        explore.order = pn::exploration_order::unordered;
+        const pn::state_space unord = pn::explore_space(net, explore);
+        if (std::string reason =
+                compare_spaces(seq, unord, std::string("par-unord/") + name);
+            !reason.empty()) {
             return reason;
         }
         verdicts[c] = verdict_of(net, seq);

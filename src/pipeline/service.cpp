@@ -84,15 +84,22 @@ service::~service()
 service::submit_result service::submit(net_source source, reply_callback on_reply,
                                        service_stage_callback on_stage)
 {
-    if (draining_.load(std::memory_order_acquire)) {
-        return {submit_status::draining, 0};
+    // Admission and shutdown decide against one consistent state: under
+    // done_mutex_, either drain() already set draining_ (reject here, no
+    // side effects) or this request raises outstanding_ first — which
+    // blocks drain()'s quiescence wait, and therefore pool_.close(), until
+    // the request resolves.  Splitting this into two separate draining_
+    // reads would let a submit race drain into counting the request as
+    // overloaded_ and reporting the wrong rejection reason.
+    {
+        std::lock_guard lock(done_mutex_);
+        if (draining_) {
+            return {submit_status::draining, 0};
+        }
+        ++outstanding_;
     }
     const request_id id = next_id_.fetch_add(1, std::memory_order_relaxed);
     const std::uint64_t submit_ns = obs::now_ns();
-    {
-        std::lock_guard lock(done_mutex_);
-        ++outstanding_;
-    }
     const bool queued = pool_.try_submit(
         [this, id, source = std::move(source), on_reply = std::move(on_reply),
          on_stage = std::move(on_stage), submit_ns]() mutable {
@@ -101,9 +108,9 @@ service::submit_result service::submit(net_source source, reply_callback on_repl
         });
     if (!queued) {
         finish_one();
-        if (draining_.load(std::memory_order_acquire)) {
-            return {submit_status::draining, 0};
-        }
+        // We were admitted, so the pool cannot have been closed under us
+        // (drain is still blocked on our outstanding_ count): a failed
+        // try_submit always means the queue is full.
         overloaded_.fetch_add(1, std::memory_order_relaxed);
         if (obs::stats_enabled()) {
             static obs::counter& rejected =
@@ -267,9 +274,9 @@ void service::finish_one()
 
 void service::drain()
 {
-    draining_.store(true, std::memory_order_release);
     {
         std::unique_lock lock(done_mutex_);
+        draining_ = true;
         all_done_.wait(lock, [this] { return outstanding_ == 0; });
     }
     pool_.close();

@@ -179,7 +179,11 @@ private:
     std::mutex done_mutex_;
     std::condition_variable all_done_;
     std::size_t outstanding_ = 0; // accepted, not yet replied
-    std::atomic<bool> draining_{false};
+    /// Guarded by done_mutex_: admission (submit) and shutdown (drain)
+    /// decide against one consistent {draining_, outstanding_} state, so a
+    /// submit racing drain is either rejected as draining with no side
+    /// effects or fully admitted before the quiescence wait can pass.
+    bool draining_ = false;
     std::atomic<request_id> next_id_{1};
 
     // stats() totals; relaxed atomics, exact under snapshot.

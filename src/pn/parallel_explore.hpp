@@ -20,6 +20,28 @@
 
 namespace fcqss::pn {
 
+/// How the parallel engine schedules exploration.
+enum class exploration_order {
+    /// Level-synchronous: barrier-separated phases per BFS level, ids
+    /// assigned as the levels complete.  Scaling is capped by the slowest
+    /// shard of each level, but every intermediate structure is already in
+    /// canonical order.
+    ordered,
+    /// Barrier-free: shards run free over per-shard inbox queues with work
+    /// stealing (exec/shard_queues.hpp), overlapping expansion and dedup
+    /// across levels.  The run produces a stable state *set*; one
+    /// deterministic renumber pass (BFS discovery order over the final
+    /// graph) then restores canonical ids, so the published result is still
+    /// bit-identical to explore_state_space() at any thread/shard count.
+    /// When the state budget actually binds (the reachable set minus
+    /// token-cap drops exceeds max_states), a free run cannot know which
+    /// states the sequential prefix keeps, so the engine detects the budget
+    /// crossing, discards the free run and re-runs level-synchronously —
+    /// truncation semantics stay exact at the cost of the speedup, which a
+    /// binding budget caps anyway.
+    unordered,
+};
+
 struct parallel_explore_options {
     /// Worker threads; 0 picks the hardware concurrency.  1 still runs the
     /// sharded engine on a single worker (the differential tests rely on
@@ -45,6 +67,10 @@ struct parallel_explore_options {
     reduction_strength strength = reduction_strength::deadlock;
     /// Places the query observes (the ltl_x visibility set).
     std::vector<place_id> observed_places{};
+    /// Scheduling discipline (see exploration_order).  Both orders publish
+    /// the same bit-identical result; `unordered` trades the level barrier
+    /// for a renumber pass and wins on wide, skewed frontiers.
+    exploration_order order = exploration_order::ordered;
 };
 
 /// Breadth-first exploration from the net's initial marking on the sharded

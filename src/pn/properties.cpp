@@ -33,17 +33,18 @@ verdict check_safe(const petri_net& net)
 verdict check_k_bounded_explicit(const petri_net& net, std::int64_t k,
                                  const reachability_options& options)
 {
-    // "Some place exceeds k" is a stutter-invariant reachability query over
-    // every place, so a stubborn reduction must observe them all: the
-    // ltl_x visibility condition then keeps every token-moving firing
-    // ordered, and the ignoring fix-up closes the cycles.
+    // "Some place exceeds k" is a stutter-invariant reachability query, so
+    // a stubborn reduction must observe the queried places — but only the
+    // *growable* ones (some transition has a positive net delta there).  A
+    // place no firing grows never exceeds its initial count, and
+    // place_bounds() includes the root marking, so its verdict is settled
+    // without observing it.  Observing every place instead makes every
+    // token-moving transition visible and degenerates the ltl_x reduction
+    // to (nearly) the full graph.
     reachability_options opts = options;
     if (opts.reduction == reduction_kind::stubborn) {
         opts.strength = reduction_strength::ltl_x;
-        opts.observed_places.clear();
-        for (const place_id p : net.places()) {
-            opts.observed_places.push_back(p);
-        }
+        opts.observed_places = growable_places(net);
     }
     const state_space space = explore_space(net, opts);
     for (const std::int64_t bound : place_bounds(space)) {

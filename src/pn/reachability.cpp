@@ -24,7 +24,8 @@ state_space explore_space(const petri_net& net, const reachability_options& opti
                              .max_tokens_per_place = options.max_tokens_per_place,
                              .reduction = options.reduction,
                              .strength = options.strength,
-                             .observed_places = options.observed_places});
+                             .observed_places = options.observed_places,
+                             .order = options.order});
 }
 
 reachability_graph explore(const petri_net& net, const reachability_options& options)

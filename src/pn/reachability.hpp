@@ -13,6 +13,7 @@
 #include "pn/firing.hpp"
 #include "pn/marking.hpp"
 #include "pn/petri_net.hpp"
+#include "pn/parallel_explore.hpp"
 #include "pn/state_space.hpp"
 
 namespace fcqss::pn {
@@ -40,6 +41,9 @@ struct reachability_options {
     reduction_strength strength = reduction_strength::deadlock;
     /// Places the query observes (the ltl_x visibility set).
     std::vector<place_id> observed_places{};
+    /// Parallel scheduling discipline (pn/parallel_explore.hpp); ignored by
+    /// the sequential engine.  Both orders publish bit-identical results.
+    exploration_order order = exploration_order::ordered;
 };
 
 /// One explored marking and its outgoing firings.

@@ -1,8 +1,10 @@
 #include "pn/state_space.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <optional>
 
+#include "exec/executor.hpp"
 #include "graph/digraph.hpp"
 #include "graph/scc.hpp"
 #include "obs/obs.hpp"
@@ -10,6 +12,26 @@
 namespace fcqss::pn {
 
 namespace detail {
+
+marking_store& space_access::store(state_space& space)
+{
+    return space.store_;
+}
+
+std::vector<state_space_edge>& space_access::edges(state_space& space)
+{
+    return space.edges_;
+}
+
+std::vector<std::size_t>& space_access::edge_offsets(state_space& space)
+{
+    return space.edge_offsets_;
+}
+
+bool& space_access::truncated(state_space& space)
+{
+    return space.truncated_;
+}
 
 void flush_store_obs(const marking_store& store)
 {
@@ -102,7 +124,8 @@ void merge_enabled(const petri_net& net,
 // state per offending SCC per round and re-explores only the freshly
 // discovered states, never restarting from scratch.
 void enforce_nonignoring(const petri_net& net, const stubborn_reduction& reduction,
-                         state_space& space, const state_space_options& options)
+                         state_space& space, const state_space_options& options,
+                         exec::executor* pool)
 {
     obs::span pass_span("explore.nonignoring");
     std::uint64_t obs_rounds = 0;
@@ -147,57 +170,113 @@ void enforce_nonignoring(const petri_net& net, const stubborn_reduction& reducti
     };
 
     std::vector<std::uint8_t> fully_expanded(space.state_count(), 0);
-    std::vector<std::int64_t> scratch(width);
-    stubborn_workspace ws;
-    std::vector<transition_id> reduced;
 
-    // Fires t from s and appends the edge to rows[s]; budget-dropped
-    // successors (token cap, state budget) mark the space truncated,
-    // exactly like in-engine expansion.  The full-vector cap scan is
+    // One fired successor, precomputed off the critical interning path.
+    // The token vector, its hash and the cap verdict are pure functions of
+    // (parent tokens, transition), so batches of candidates can be
+    // generated concurrently; only the intern — which assigns ids — stays
+    // sequential, in (state id, transition id) order, which is exactly the
+    // order the single-threaded pass interns in.
+    struct fire_candidate {
+        transition_id via{0};
+        std::uint64_t hash = 0;
+        bool over_cap = false;
+        std::vector<std::int64_t> tokens;
+    };
+    // Fires t from s into a candidate.  The full-vector cap scan is
     // equivalent to the engines' per-touched-place check (every interned
     // parent except possibly the root already obeys the cap) and also
     // covers the over-cap-root case.
-    const auto add_edge = [&](state_id s, transition_id t) {
+    const auto fire_from = [&](state_id s, transition_id t) {
+        fire_candidate cand;
+        cand.via = t;
         const std::span<const std::int64_t> current = store.tokens(s);
-        std::copy(current.begin(), current.end(), scratch.begin());
+        cand.tokens.assign(current.begin(), current.end());
         for (const place_weight& in : net.inputs(t)) {
-            scratch[in.place.index()] -= in.weight;
+            cand.tokens[in.place.index()] -= in.weight;
         }
         for (const place_weight& out : net.outputs(t)) {
-            scratch[out.place.index()] += out.weight;
+            cand.tokens[out.place.index()] += out.weight;
         }
-        for (const std::int64_t count : scratch) {
+        for (const std::int64_t count : cand.tokens) {
             if (count > cap) {
-                space.truncated_ = true;
-                return;
+                cand.over_cap = true;
+                return cand;
             }
         }
-        const std::uint64_t hash = marking_store::hash_tokens(scratch.data(), width);
+        cand.hash = marking_store::hash_tokens(cand.tokens.data(), width);
+        return cand;
+    };
+    // Runs gen(0..count-1) on the pool when one is given and the batch is
+    // worth a dispatch, inline otherwise; either path computes the same
+    // values into disjoint per-index slots.
+    const auto run_batch = [&](std::size_t count,
+                               const std::function<void(std::size_t)>& gen) {
+        if (pool != nullptr && count > 1) {
+            pool->for_each_index(count, gen);
+        } else {
+            for (std::size_t i = 0; i < count; ++i) {
+                gen(i);
+            }
+        }
+    };
+    // Interns one generated candidate and appends the edge to rows[s];
+    // budget-dropped successors (token cap, state budget) mark the space
+    // truncated, exactly like in-engine expansion.
+    const auto merge_candidate = [&](state_id s, const fire_candidate& cand) {
+        if (cand.over_cap) {
+            space.truncated_ = true;
+            return;
+        }
         const auto [to, inserted] =
-            store.intern(scratch.data(), hash, options.max_states);
+            store.intern(cand.tokens.data(), cand.hash, options.max_states);
         if (to == invalid_state) {
             space.truncated_ = true;
             return;
         }
         static_cast<void>(inserted);
-        rows[s].push_back({t, to});
+        rows[s].push_back({cand.via, to});
     };
 
     // Expands every pending state (freshly interned, no row yet) with the
     // normal per-state reduction, in id order; expansion may intern more.
+    // Each batch generates its candidates (enabled scan, stubborn closure,
+    // firing, hashing) via run_batch, then merges them sequentially in
+    // (state id, transition id) order.
+    std::vector<stubborn_workspace> batch_ws;
+    std::vector<std::vector<transition_id>> batch_reduced;
     const auto expand_tail = [&] {
         while (rows.size() < store.size()) {
-            const state_id s = static_cast<state_id>(rows.size());
-            rows.emplace_back();
-            enabled_cache.emplace_back();
-            enabled_known.push_back(0);
-            fully_expanded.push_back(0);
-            const std::vector<transition_id>& enabled = enabled_of(s);
-            reduction.reduce(store.tokens(s).data(), enabled, ws, reduced);
-            for (const transition_id t : reduced) {
-                add_edge(s, t);
+            const std::size_t begin = rows.size();
+            const std::size_t count = store.size() - begin;
+            rows.resize(begin + count);
+            enabled_cache.resize(begin + count);
+            enabled_known.resize(begin + count, 0);
+            fully_expanded.resize(begin + count, 0);
+            if (batch_ws.size() < count) {
+                batch_ws.resize(count);
+                batch_reduced.resize(count);
             }
-            fully_expanded[s] = reduced.size() == enabled.size() ? 1 : 0;
+            std::vector<std::size_t> enabled_counts(count, 0);
+            std::vector<std::vector<fire_candidate>> batch(count);
+            run_batch(count, [&](std::size_t i) {
+                const state_id s = static_cast<state_id>(begin + i);
+                const std::vector<transition_id>& enabled = enabled_of(s);
+                enabled_counts[i] = enabled.size();
+                reduction.reduce(store.tokens(s).data(), enabled, batch_ws[i],
+                                 batch_reduced[i]);
+                batch[i].reserve(batch_reduced[i].size());
+                for (const transition_id t : batch_reduced[i]) {
+                    batch[i].push_back(fire_from(s, t));
+                }
+            });
+            for (std::size_t i = 0; i < count; ++i) {
+                const state_id s = static_cast<state_id>(begin + i);
+                for (const fire_candidate& cand : batch[i]) {
+                    merge_candidate(s, cand);
+                }
+                fully_expanded[s] = batch[i].size() == enabled_counts[i] ? 1 : 0;
+            }
         }
     };
 
@@ -271,16 +350,27 @@ void enforce_nonignoring(const petri_net& net, const stubborn_reduction& reducti
             materialized = true;
         }
         std::sort(offenders.begin(), offenders.end());
-        for (const state_id s : offenders) {
-            fully_expanded[s] = 1;
-            for (const transition_id t : enabled_of(s)) {
+        // Generate every offender's missing successors concurrently (their
+        // enabled sets are already cached — the pick above computed them),
+        // then intern in (offender id, transition id) order.
+        std::vector<std::vector<fire_candidate>> missing(offenders.size());
+        run_batch(offenders.size(), [&](std::size_t i) {
+            const state_id s = offenders[i];
+            for (const transition_id t : enabled_cache[s]) {
                 bool present = false;
                 for (const state_space_edge& edge : rows[s]) {
                     present |= edge.via == t;
                 }
                 if (!present) {
-                    add_edge(s, t);
+                    missing[i].push_back(fire_from(s, t));
                 }
+            }
+        });
+        for (std::size_t i = 0; i < offenders.size(); ++i) {
+            const state_id s = offenders[i];
+            fully_expanded[s] = 1;
+            for (const fire_candidate& cand : missing[i]) {
+                merge_candidate(s, cand);
             }
             std::sort(rows[s].begin(), rows[s].end(),
                       [](const state_space_edge& a, const state_space_edge& b) {

@@ -20,9 +20,14 @@
 #include "pn/petri_net.hpp"
 #include "pn/stubborn.hpp"
 
+namespace fcqss::exec {
+class executor;
+}
+
 namespace fcqss::pn {
 
 struct parallel_explore_options;
+struct state_space_edge;
 class state_space;
 
 /// Budgets for explicit exploration, mirroring reachability_options.
@@ -72,13 +77,21 @@ void merge_enabled(const petri_net& net, const std::vector<transition_id>& paren
 /// enabled at some member state but fired from none — gets its smallest
 /// such state fully expanded; freshly discovered states are then explored
 /// with the normal per-state reduction, and the check repeats until no SCC
-/// ignores anything.  Sequential and deterministic in (net, reduction,
-/// space, options) alone, so running it after either engine keeps the
+/// ignores anything.  Deterministic in (net, reduction, space, options)
+/// alone, so running it after either engine keeps the
 /// bit-identical-at-any-thread-count guarantee.  Budgets are respected
 /// exactly like in-engine expansion (dropped successors mark the space
 /// truncated).
+///
+/// When `pool` is given, the per-SCC re-expansions and the re-exploration
+/// of freshly discovered states run their candidate generation (firing,
+/// cap scan, hashing, stubborn closure) on the executor; candidates are
+/// then interned by a sequential merge in (state id, transition id) order —
+/// the exact order the inline path interns in — so the result is
+/// bit-identical with or without the pool at any thread count.
 void enforce_nonignoring(const petri_net& net, const stubborn_reduction& reduction,
-                         state_space& space, const state_space_options& options);
+                         state_space& space, const state_space_options& options,
+                         exec::executor* pool = nullptr);
 
 /// Adds one store's dedup-work tallies (probes, dedup hits, inserts, budget
 /// rejects, table resizes, arena footprint, chunk count) to the global
@@ -86,6 +99,15 @@ void enforce_nonignoring(const petri_net& net, const stubborn_reduction& reducti
 /// this once per store at the end of a run — the stores themselves count
 /// with plain members so the hot probe loop never touches an atomic.
 void flush_store_obs(const marking_store& store);
+
+/// Private-member access for the exploration engines in parallel_explore.cpp
+/// (which live in an anonymous namespace and so cannot be friends by name).
+struct space_access {
+    [[nodiscard]] static marking_store& store(state_space& space);
+    [[nodiscard]] static std::vector<state_space_edge>& edges(state_space& space);
+    [[nodiscard]] static std::vector<std::size_t>& edge_offsets(state_space& space);
+    [[nodiscard]] static bool& truncated(state_space& space);
+};
 
 } // namespace detail
 
@@ -132,7 +154,9 @@ private:
     friend void detail::enforce_nonignoring(const petri_net& net,
                                             const stubborn_reduction& reduction,
                                             state_space& space,
-                                            const state_space_options& options);
+                                            const state_space_options& options,
+                                            exec::executor* pool);
+    friend struct detail::space_access;
 
     marking_store store_{0};
     std::vector<state_space_edge> edges_;

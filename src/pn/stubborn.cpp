@@ -27,6 +27,34 @@ void flush_reduce_obs(std::size_t enabled, std::size_t reduced, std::size_t tria
 
 } // namespace
 
+std::vector<place_id> growable_places(const petri_net& net)
+{
+    std::vector<std::int64_t> delta(net.place_count(), 0);
+    std::vector<std::uint8_t> growable(net.place_count(), 0);
+    for (transition_id t : net.transitions()) {
+        for (const place_weight& out : net.outputs(t)) {
+            delta[out.place.index()] += out.weight;
+        }
+        for (const place_weight& in : net.inputs(t)) {
+            delta[in.place.index()] -= in.weight;
+        }
+        for (const place_weight& out : net.outputs(t)) {
+            growable[out.place.index()] |= delta[out.place.index()] > 0 ? 1 : 0;
+            delta[out.place.index()] = 0;
+        }
+        for (const place_weight& in : net.inputs(t)) {
+            delta[in.place.index()] = 0;
+        }
+    }
+    std::vector<place_id> places;
+    for (const place_id p : net.places()) {
+        if (growable[p.index()]) {
+            places.push_back(p);
+        }
+    }
+    return places;
+}
+
 stubborn_reduction::stubborn_reduction(const petri_net& net, stubborn_options options)
     : net_(&net), strength_(options.strength)
 {

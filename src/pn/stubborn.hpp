@@ -100,6 +100,15 @@ struct stubborn_options {
     std::vector<place_id> observed_places{};
 };
 
+/// Places some firing can *grow*: those where at least one transition has a
+/// positive folded net delta (outputs minus inputs), ascending.  A place no
+/// transition grows can never exceed its count in the initial marking, so
+/// boundedness queries need only observe the growable places — observing
+/// all of them keeps the EF-fragment query exact while leaving every
+/// transition that only shuffles settled places invisible, which is what
+/// lets the ltl_x reduction actually reduce (check_k_bounded_explicit).
+[[nodiscard]] std::vector<place_id> growable_places(const petri_net& net);
+
 /// Per-thread scratch for stubborn_reduction::reduce(): flag arrays sized
 /// |T| plus the closure work lists.  Reusing one workspace across states
 /// keeps the per-state cost at O(closure), not O(|T|); distinct threads

@@ -491,6 +491,80 @@ TEST(ltlx_stubborn, proviso_holds_in_every_cyclic_scc)
     }
 }
 
+// The boundedness-visibility regression: check_k_bounded_explicit observes
+// only the growable places.  Observing every place makes every token-moving
+// transition visible and degenerates the ltl_x reduction to (nearly) the
+// full graph; growable-only visibility must genuinely prune while the
+// verdict stays exact at every k.
+/// The boundedness-visibility fixture: `lanes` independent countdown lanes,
+/// each a fuel place holding `fuel` tokens drained one token at a time by a
+/// pure-consumer transition.  No place ever grows, so growable_places() is
+/// empty and every drain is invisible to the boundedness query — the drains
+/// commute and an ltl_x reduction may serialize them into a near-linear
+/// graph.  Observing every place instead (the pre-fix behaviour) gives each
+/// drain a non-zero delta on an observed place, condition V pulls all of
+/// them into every stubborn set, and the full (fuel+1)^lanes interleaving
+/// product comes back.
+petri_net countdown_lanes(std::size_t lanes, std::int64_t fuel)
+{
+    net_builder b("countdown_lanes");
+    for (std::size_t i = 0; i < lanes; ++i) {
+        const auto f = b.add_place("fuel" + std::to_string(i), fuel);
+        const auto d = b.add_transition("drain" + std::to_string(i));
+        b.add_arc(f, d);
+    }
+    return std::move(b).build();
+}
+
+// The boundedness-visibility regression: check_k_bounded_explicit observes
+// only the growable places.  Observing every place makes every token-moving
+// transition visible and degenerates the ltl_x reduction to the full
+// interleaving product; growable-only visibility must genuinely prune while
+// the verdict stays exact at every k.
+TEST(ltlx_stubborn, boundedness_visibility_keeps_the_reduction_effective)
+{
+    const petri_net net = countdown_lanes(3, 4);
+    EXPECT_TRUE(growable_places(net).empty());
+
+    reachability_options full;
+    full.max_markings = 300000;
+    const state_space unreduced = explore_space(net, full);
+    ASSERT_FALSE(unreduced.truncated());
+    EXPECT_EQ(unreduced.state_count(), 125u); // (4+1)^3 interleavings
+
+    // The exploration the fixed query runs: ltl_x with growable visibility.
+    reachability_options reduced = full;
+    reduced.reduction = reduction_kind::stubborn;
+    reduced.strength = reduction_strength::ltl_x;
+    reduced.observed_places = growable_places(net);
+    const state_space pruned = explore_space(net, reduced);
+    ASSERT_FALSE(pruned.truncated());
+
+    // The pre-fix exploration: every place observed.
+    reduced.observed_places.assign(net.places().begin(), net.places().end());
+    const state_space degenerate = explore_space(net, reduced);
+    ASSERT_FALSE(degenerate.truncated());
+    EXPECT_EQ(degenerate.state_count(), unreduced.state_count());
+
+    // Ratio assertion: growable-only visibility explores at most half of
+    // what the degenerate visibility visits (in practice near-linear,
+    // 13 vs 125 states here).
+    EXPECT_LE(pruned.state_count() * 2, degenerate.state_count())
+        << "reduction is degenerate: " << pruned.state_count() << " vs "
+        << degenerate.state_count() << " states";
+
+    // And the verdict stays exact against the unreduced engine: the lanes
+    // start at 4 tokens and only drain, so the bound is exactly 4.
+    reachability_options query = full;
+    query.reduction = reduction_kind::stubborn;
+    for (const std::int64_t k :
+         {std::int64_t{1}, std::int64_t{3}, std::int64_t{4}, std::int64_t{8}}) {
+        const verdict expected = k >= 4 ? verdict::yes : verdict::no;
+        EXPECT_EQ(check_k_bounded_explicit(net, k, full), expected) << "k " << k;
+        EXPECT_EQ(check_k_bounded_explicit(net, k, query), expected) << "k " << k;
+    }
+}
+
 TEST(ltlx_stubborn, explore_space_dispatch_carries_strength_and_observed)
 {
     const petri_net net = cycle_of_choices();

@@ -383,6 +383,136 @@ TEST(service, overload_is_an_explicit_reply_not_a_block)
     EXPECT_EQ(collector.size(), 2u); // the rejected request never replies
 }
 
+// Admission and drain decide against one consistent state: once drain() has
+// published its intent, every rejection reports draining — never overloaded,
+// even when the queue also happens to be full — and overloaded_ stays
+// untouched.  The pre-fix code read draining_ twice around try_submit, so a
+// submit racing drain could land in the overloaded branch with the wrong
+// reason (and a submit in the first-read window could slip past drain's
+// quiescence wait entirely).
+TEST(service, rejections_during_drain_are_draining_not_overloaded)
+{
+    std::mutex gate_mutex;
+    std::condition_variable gate_cv;
+    bool release = false;
+
+    service_options options;
+    options.jobs = 1;
+    options.max_queue = 1;
+    service svc(options);
+    reply_collector collector;
+
+    generator_options gen_options;
+    net_generator generator(7, gen_options);
+    const auto source = [&](const char* name) {
+        return net_source::from_text(name, pnio::write_net(generator.next()));
+    };
+
+    const auto running = svc.submit(
+        source("running"), collector.callback(),
+        [&](request_id, pipeline_stage stage, const pipeline_result&) {
+            if (stage == pipeline_stage::parse) {
+                std::unique_lock lock(gate_mutex);
+                gate_cv.wait(lock, [&] { return release; });
+            }
+        });
+    ASSERT_EQ(running.status, submit_status::accepted);
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (svc.queue_depth() != 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_EQ(svc.queue_depth(), 0u);
+    const auto queued = svc.submit(source("queued"), collector.callback());
+    ASSERT_EQ(queued.status, submit_status::accepted);
+
+    std::thread drainer([&] { svc.drain(); });
+    // Probe until drain() has published its intent: the worker is stalled
+    // and the queue full, so probes report overloaded right up to the
+    // moment draining_ is set, then draining.
+    for (;;) {
+        ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+        const auto probe = svc.submit(source("probe"), collector.callback());
+        if (probe.status == submit_status::draining) {
+            break;
+        }
+        ASSERT_EQ(probe.status, submit_status::overloaded);
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    const auto overloaded_before = svc.stats().overloaded;
+    const auto rejected = svc.submit(source("late"), collector.callback());
+    EXPECT_EQ(rejected.status, submit_status::draining);
+    EXPECT_EQ(svc.stats().overloaded, overloaded_before);
+
+    {
+        std::lock_guard lock(gate_mutex);
+        release = true;
+    }
+    gate_cv.notify_all();
+    drainer.join();
+    // Both accepted requests replied before drain() returned; no probe did.
+    EXPECT_EQ(collector.size(), 2u);
+    EXPECT_EQ(svc.stats().replied, 2u);
+}
+
+// Hammer the same race from many submitters: every accepted request replies
+// before drain() returns, nothing replies after, and once drain() has
+// returned every further submit reports draining.
+TEST(service, concurrent_submits_and_drain_settle_cleanly)
+{
+    service_options options;
+    options.jobs = 2;
+    options.max_queue = 4;
+    service svc(options);
+    reply_collector collector;
+
+    const std::string text = pnio::write_net(nets::figure_3a());
+    std::atomic<bool> start{false};
+    std::atomic<bool> drain_returned{false};
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<std::uint64_t> overloaded_after_drain{0};
+    std::vector<std::thread> submitters;
+    submitters.reserve(4);
+    for (int t = 0; t < 4; ++t) {
+        submitters.emplace_back([&] {
+            while (!start.load(std::memory_order_acquire)) {
+                std::this_thread::yield();
+            }
+            for (;;) {
+                // Snapshot before the call: a submit may legitimately start
+                // ahead of drain() returning and classify as overloaded
+                // while drain completes underneath it.  Only a submit that
+                // *begins* after drain returned must report draining.
+                const bool after_drain =
+                    drain_returned.load(std::memory_order_acquire);
+                const auto r = svc.submit(net_source::from_text("flood", text),
+                                          collector.callback());
+                if (r.status == submit_status::draining) {
+                    return;
+                }
+                if (r.status == submit_status::accepted) {
+                    accepted.fetch_add(1, std::memory_order_relaxed);
+                } else if (after_drain) {
+                    overloaded_after_drain.fetch_add(1, std::memory_order_relaxed);
+                }
+            }
+        });
+    }
+    start.store(true, std::memory_order_release);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    svc.drain();
+    const std::size_t replies_at_drain = collector.size();
+    drain_returned.store(true, std::memory_order_release);
+    for (std::thread& th : submitters) {
+        th.join();
+    }
+
+    EXPECT_EQ(overloaded_after_drain.load(), 0u);
+    EXPECT_EQ(collector.size(), replies_at_drain); // nothing replies post-drain
+    EXPECT_EQ(collector.size(), accepted.load());  // every accepted replied
+    EXPECT_EQ(svc.stats().replied, accepted.load());
+}
+
 // -------------------------------------------------------------- streaming --
 
 TEST(service, stages_stream_in_order_for_the_leader)

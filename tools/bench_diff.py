@@ -73,10 +73,12 @@ def main() -> int:
         "--metric",
         default=(
             r"(states/s|nets/s|nodes/s|st/s|requests/s|mutants/s|nets/second"
-            r"|/second|speedup|throughput|reduction ratio|ltlx ratio)"
+            r"|/second|speedup|throughput|reduction ratio|ltlx ratio"
+            r"|unord4 vs par4|unord identical)"
         ),
         help="regex selecting the labels to track (default: throughput-ish rows, "
-        "plus the stubborn-reduction and ltl_x ratios)",
+        "the stubborn-reduction and ltl_x ratios, and the unordered-engine "
+        "ratio and bit-identity rows)",
     )
     parser.add_argument(
         "--info-metric",
