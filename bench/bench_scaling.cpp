@@ -308,6 +308,47 @@ void report_unordered_engine()
     }
 }
 
+// External-memory rows (this PR's tentpole): the sequential engine on a
+// free-choice net at increasing spill pressure.  The budget is derived from
+// the unlimited run's own arena size B: @0 runs with 2B (pager engaged, no
+// eviction), @0.5 with B/2 and @0.9 with B/10 (nearly everything cold).
+// Bit-identity of the @0.5 run against the unlimited run is reported as a
+// 0/1 row and gated by CI; bench_diff tracks "spill states/s @0.5" with a
+// fail-below floor so the decode path cannot quietly collapse.
+void report_spill()
+{
+    benchutil::heading("external-memory exploration (mmap spill, sequential "
+                       "engine, budget from the unlimited run's arena)");
+    std::printf("  %8s %8s %12s %12s %12s %10s\n", "|T|", "states", "st/s @0",
+                "st/s @0.5", "st/s @0.9", "identical");
+    const pn::petri_net net = generated_net(pipeline::net_family::free_choice, 500);
+    pn::reachability_options options{.max_markings = 60000,
+                                     .max_tokens_per_place = 1 << 20};
+    options.threads = 1;
+    const pn::state_space unlimited = pn::explore_space(net, options);
+    const std::size_t arena = unlimited.store().arena_bytes();
+
+    std::size_t states = 0;
+    options.max_bytes = arena * 2;
+    const double rate0 = engine_states_per_second(net, options, 3, states);
+    options.max_bytes = std::max<std::size_t>(arena / 2, 4096);
+    const double rate50 = engine_states_per_second(net, options, 3, states);
+    const bool identical =
+        identical_spaces(unlimited, pn::explore_space(net, options));
+    options.max_bytes = std::max<std::size_t>(arena / 10, 4096);
+    const double rate90 = engine_states_per_second(net, options, 3, states);
+
+    std::printf("  %8zu %8zu %12.0f %12.0f %12.0f %10s\n", net.transition_count(),
+                states, rate0, rate50, rate90, identical ? "yes" : "NO");
+    benchutil::row("spill arena bytes", std::to_string(arena));
+    benchutil::row("spill states/s @0", std::to_string(static_cast<long long>(rate0)));
+    benchutil::row("spill states/s @0.5",
+                   std::to_string(static_cast<long long>(rate50)));
+    benchutil::row("spill states/s @0.9",
+                   std::to_string(static_cast<long long>(rate90)));
+    benchutil::row("spill identical @0.5", identical ? "1" : "0");
+}
+
 // Row labels of one reduction report block; the label strings are load-
 // bearing — CI gates and tools/bench_diff.py grep them verbatim.
 struct reduction_row_labels {
@@ -554,6 +595,7 @@ void report()
     report_state_space_engine();
     report_parallel_engine();
     report_unordered_engine();
+    report_spill();
     report_stubborn_reduction();
     report_ltlx_reduction();
     report_coverability();

@@ -6,6 +6,7 @@
 //   pn_tool codegen  model.pn      emit the synthesized C to stdout
 //   pn_tool dot      model.pn      emit graphviz
 //   pn_tool explore  [--threads N] [--max-states S] [--max-tokens K]
+//                    [--max-bytes B[K|M|G]]
 //                    [--reduce none|stubborn|stubborn-ltlx]
 //                    [--order ordered|unordered]
 //                    [--stats[=FILE]] [--trace=FILE]
@@ -19,6 +20,18 @@
 //                                  stubborn-ltlx adds the visibility and
 //                                  no-ignoring conditions, so liveness and
 //                                  stutter-invariant verdicts stay exact too.
+//                                  --max-bytes caps the resident marking-
+//                                  arena bytes: chunks spill to an mmap'd
+//                                  temp file and cold ones are evicted; the
+//                                  graph is bit-identical to the unlimited
+//                                  run at any spill ratio.
+//                                  --order unordered with a binding
+//                                  --max-states cannot keep exact truncation
+//                                  semantics in a free-running schedule, so
+//                                  the engine re-runs level-synchronously;
+//                                  the run prints a one-line note on stderr
+//                                  and counts pn.unord.budget_fallbacks in
+//                                  --stats when that happens.
 //                                  --stats dumps the engine counters as
 //                                  metrics JSONL (stdout, or FILE); --trace
 //                                  writes a Chrome trace of the run's phase
@@ -35,8 +48,8 @@
 //                                  (--credit C bounds each source to C
 //                                  firings via a seeded credit place)
 //   pn_tool fuzz     [--seeds N] [--seed-begin S] [--family F]...
-//                    [--mutations M] [--max-states S] [--threads N]
-//                    [--no-shrink] [--no-synthesis] [--out DIR]
+//                    [--mutations M] [--max-states S] [--max-bytes B]
+//                    [--threads N] [--no-shrink] [--no-synthesis] [--out DIR]
 //                                  differential fuzzing: mutate generated
 //                                  nets (pn/mutator.hpp) and require
 //                                  agreeing verdicts across {sequential,
@@ -46,13 +59,16 @@
 //                                  DIR (default fuzz-reproducers/), exit 1
 //   pn_tool serve    [--jobs N] [--queue N] [--cache N]
 //                    [--max-allocations A] [--no-codegen] [--no-code]
-//                    [--max-input-bytes B] [--tcp PORT]
+//                    [--max-input-bytes B] [--max-bytes B] [--tcp PORT]
 //                    [--stats[=FILE]] [--trace=FILE]
 //                                  resident synthesis service speaking
 //                                  line-delimited JSON on stdin/stdout
 //                                  (or a loopback TCP port with --tcp);
-//                                  see src/svc/protocol.hpp for the wire
-//                                  protocol and README for a session
+//                                  --max-bytes sets the server-owned
+//                                  resident arena budget for "op":"explore"
+//                                  requests; see src/svc/protocol.hpp for
+//                                  the wire protocol and README for a
+//                                  session
 //
 // Exit codes: single-net commands (analyze/schedule/report/codegen/dot)
 // exit with the stable pipeline wire code of their outcome — 0 ok,
@@ -256,6 +272,7 @@ int cmd_explore(int argc, char** argv)
     std::string path;
     for (int i = 2; i < argc; ++i) {
         long value = 0;
+        unsigned long long bytes = 0;
         reduce_mode mode = reduce_mode::none;
         if (cli::int_option(argc, argv, i, "--threads", value)) {
             options.threads = value >= 0 ? static_cast<std::size_t>(value) : 1;
@@ -263,6 +280,8 @@ int cmd_explore(int argc, char** argv)
             options.max_markings = value > 0 ? static_cast<std::size_t>(value) : 1;
         } else if (cli::int_option(argc, argv, i, "--max-tokens", value)) {
             options.max_tokens_per_place = value > 0 ? value : 1;
+        } else if (cli::byte_option(argc, argv, i, "--max-bytes", bytes)) {
+            options.max_bytes = static_cast<std::size_t>(bytes);
         } else if (cli::enum_option(argc, argv, i, "--reduce", reduce_choices, mode)) {
             options.reduction = mode == reduce_mode::none
                                     ? pn::reduction_kind::none
@@ -295,6 +314,11 @@ int cmd_explore(int argc, char** argv)
     const bool reduced = options.reduction == pn::reduction_kind::stubborn;
     const bool ltlx = reduced && options.strength == pn::reduction_strength::ltl_x;
     const pn::state_space space = pn::explore_space(net, options);
+    if (space.unordered_fallback()) {
+        std::fprintf(stderr,
+                     "note: unordered exploration hit the state budget; "
+                     "re-ran level-synchronous for exact truncation\n");
+    }
     std::printf("net '%s': explored %zu states, %zu edges%s%s\n", net.name().c_str(),
                 space.state_count(), space.edge_count(),
                 !reduced ? ""
@@ -303,6 +327,12 @@ int cmd_explore(int argc, char** argv)
                 space.truncated() ? " (truncated by budget)" : "");
     std::printf("  store: %.2f MiB arena+table\n",
                 static_cast<double>(space.store().memory_bytes()) / (1024.0 * 1024.0));
+    if (options.max_bytes != 0) {
+        std::printf("  spill: %.2f MiB arena under a %.2f MiB resident budget\n",
+                    static_cast<double>(space.store().arena_bytes()) /
+                        (1024.0 * 1024.0),
+                    static_cast<double>(options.max_bytes) / (1024.0 * 1024.0));
+    }
 
     const auto dead = pn::find_deadlock(net, space);
     if (dead) {
@@ -448,6 +478,7 @@ int cmd_fuzz(int argc, char** argv)
     bool verbose = false;
     for (int i = 2; i < argc; ++i) {
         long value = 0;
+        unsigned long long bytes = 0;
         pipeline::net_family family = pipeline::net_family::free_choice;
         if (cli::int_option(argc, argv, i, "--seeds", value)) {
             options.seeds = value > 0 ? static_cast<std::size_t>(value) : 1;
@@ -457,6 +488,8 @@ int cmd_fuzz(int argc, char** argv)
             options.mutation.count = value >= 0 ? static_cast<int>(value) : 0;
         } else if (cli::int_option(argc, argv, i, "--max-states", value)) {
             options.max_states = value > 0 ? static_cast<std::size_t>(value) : 1;
+        } else if (cli::byte_option(argc, argv, i, "--max-bytes", bytes)) {
+            options.max_bytes = static_cast<std::size_t>(bytes);
         } else if (cli::int_option(argc, argv, i, "--threads", value)) {
             options.threads = value > 1 ? static_cast<std::size_t>(value) : 2;
         } else if (cli::int_option(argc, argv, i, "--max-allocations", value)) {
@@ -526,6 +559,7 @@ int cmd_serve(int argc, char** argv)
     long tcp_port = -1;
     for (int i = 2; i < argc; ++i) {
         long value = 0;
+        unsigned long long bytes = 0;
         if (cli::int_option(argc, argv, i, "--jobs", value)) {
             options.jobs = value > 0 ? static_cast<std::size_t>(value) : 0;
         } else if (cli::int_option(argc, argv, i, "--queue", value)) {
@@ -545,6 +579,8 @@ int cmd_serve(int argc, char** argv)
             options.pipeline.generate_code = false;
         } else if (std::strcmp(argv[i], "--no-code") == 0) {
             server.session.include_code = false;
+        } else if (cli::byte_option(argc, argv, i, "--max-bytes", bytes)) {
+            server.session.explore.max_bytes = static_cast<std::size_t>(bytes);
         } else if (cli::int_option(argc, argv, i, "--tcp", value)) {
             tcp_port = value;
         } else if (telemetry.parse(argv[i])) {
@@ -591,7 +627,7 @@ constexpr cli::command commands[] = {
     {"codegen", "model.pn", cmd_codegen},
     {"dot", "model.pn", cmd_dot},
     {"explore",
-     "[--threads N] [--max-states S] [--max-tokens K]\n"
+     "[--threads N] [--max-states S] [--max-tokens K] [--max-bytes B]\n"
      "                  [--reduce none|stubborn|stubborn-ltlx]\n"
      "                  [--order ordered|unordered]\n"
      "                  [--stats[=FILE]] [--trace=FILE] model.pn",
@@ -608,14 +644,16 @@ constexpr cli::command commands[] = {
      cmd_generate},
     {"fuzz",
      "[--seeds N] [--seed-begin S] [--family F]... [--mutations M]\n"
-     "                  [--max-states S] [--threads N] [--max-allocations A]\n"
+     "                  [--max-states S] [--max-bytes B] [--threads N] "
+     "[--max-allocations A]\n"
      "                  [--no-shrink] [--no-synthesis] [--verbose] [--out DIR]\n"
      "                  [--stats[=FILE]] [--trace=FILE]",
      cmd_fuzz},
     {"serve",
      "[--jobs N] [--queue N] [--cache N] [--max-allocations A]\n"
      "                  [--no-codegen] [--no-code] [--max-input-bytes B] "
-     "[--tcp PORT]\n"
+     "[--max-bytes B]\n"
+     "                  [--tcp PORT]\n"
      "                  [--stats[=FILE]] [--trace=FILE]",
      cmd_serve},
 };

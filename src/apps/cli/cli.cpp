@@ -54,6 +54,45 @@ bool int_option(int argc, char** argv, int& i, const char* flag, long& out)
     return true;
 }
 
+bool byte_option(int argc, char** argv, int& i, const char* flag,
+                 unsigned long long& out)
+{
+    if (std::strcmp(argv[i], flag) != 0) {
+        return false;
+    }
+    if (i + 1 >= argc) {
+        missing_value(flag);
+    }
+    const char* text = argv[++i];
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(text, &end, 10);
+    unsigned long long scale = 1;
+    if (end != text) {
+        switch (*end) {
+        case 'k': case 'K': scale = 1ULL << 10; ++end; break;
+        case 'm': case 'M': scale = 1ULL << 20; ++end; break;
+        case 'g': case 'G': scale = 1ULL << 30; ++end; break;
+        default: break;
+        }
+        if (scale != 1 && (*end == 'i' || *end == 'I')) {
+            ++end;
+        }
+        if (*end == 'b' || *end == 'B') {
+            ++end;
+        }
+    }
+    if (end == text || *end != '\0' || text[0] == '-' ||
+        (scale != 1 && value > ~0ULL / scale)) {
+        std::fprintf(stderr,
+                     "%s needs a byte size (integer with optional K/M/G "
+                     "suffix), got '%s'\n",
+                     flag, text);
+        std::exit(2);
+    }
+    out = value * scale;
+    return true;
+}
+
 void missing_value(const char* flag)
 {
     std::fprintf(stderr, "%s needs a value\n", flag);

@@ -47,6 +47,13 @@ int usage(const char* tool, const command* commands, std::size_t count);
 /// Exits 2 when the value is missing or not an integer.
 bool int_option(int argc, char** argv, int& i, const char* flag, long& out);
 
+/// Parses "--flag SIZE" byte-size options: a non-negative integer with an
+/// optional K/M/G suffix (binary multiples, case-insensitive, optional
+/// trailing B or iB — "512K", "64MiB", "1g").  Advances `i` past the
+/// value; exits 2 when the value is missing or malformed.
+bool byte_option(int argc, char** argv, int& i, const char* flag,
+                 unsigned long long& out);
+
 /// One accepted spelling of an enumeration flag.
 template <typename E>
 struct enum_choice {

@@ -1,0 +1,188 @@
+// fcqss — exec/chunk_pager.cpp
+#include "exec/chunk_pager.hpp"
+
+#include "base/error.hpp"
+#include "obs/obs.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/resource.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace fcqss::exec {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what)
+{
+    throw io_error(std::string("chunk_pager: ") + what + ": " +
+                   std::strerror(errno));
+}
+
+std::string pick_spill_dir(const std::string& configured)
+{
+    if (!configured.empty()) return configured;
+    if (const char* tmp = std::getenv("TMPDIR"); tmp != nullptr && *tmp != '\0')
+        return tmp;
+    return "/tmp";
+}
+
+} // namespace
+
+chunk_pager::chunk_pager(chunk_pager_options options)
+    : options_(std::move(options))
+{
+    const long page = ::sysconf(_SC_PAGESIZE);
+    if (page > 0) page_size_ = static_cast<std::size_t>(page);
+    if (options_.max_resident_bytes == 0) return;
+
+    std::string templ = pick_spill_dir(options_.spill_dir) + "/fcqss-spill-XXXXXX";
+    std::string buf = templ;
+    fd_ = ::mkstemp(buf.data());
+    if (fd_ < 0) throw_errno("mkstemp");
+    spill_path_ = buf;
+}
+
+chunk_pager::~chunk_pager()
+{
+    for (auto& chunk : chunks_) {
+        if (chunk.owned == nullptr && chunk.data != nullptr)
+            ::munmap(chunk.data, chunk.bytes);
+    }
+    if (fd_ >= 0) {
+        ::close(fd_);
+        ::unlink(spill_path_.c_str());
+    }
+}
+
+std::pair<std::uint32_t, void*> chunk_pager::allocate(std::size_t bytes)
+{
+    if (bytes == 0) bytes = 1;
+    std::lock_guard lock(mutex_);
+    const auto id = static_cast<std::uint32_t>(chunks_.size());
+
+    if (fd_ < 0) {
+        chunk_meta meta;
+        meta.bytes = bytes;
+        meta.owned = std::make_unique<std::byte[]>(bytes);
+        meta.data = meta.owned.get();
+        chunks_.push_back(std::move(meta));
+        resident_bytes_ += bytes;
+        return {id, chunks_.back().data};
+    }
+
+    validate_backing_locked();
+    const std::size_t rounded =
+        (bytes + page_size_ - 1) / page_size_ * page_size_;
+    evict_to_fit_locked(rounded);
+
+    const std::size_t offset = file_extent_;
+    if (::ftruncate(fd_, static_cast<off_t>(offset + rounded)) != 0)
+        throw_errno("ftruncate");
+    void* data = ::mmap(nullptr, rounded, PROT_READ | PROT_WRITE, MAP_SHARED,
+                        fd_, static_cast<off_t>(offset));
+    if (data == MAP_FAILED) throw_errno("mmap");
+    file_extent_ = offset + rounded;
+
+    chunk_meta meta;
+    meta.data = data;
+    meta.bytes = rounded;
+    meta.file_offset = offset;
+    chunks_.push_back(std::move(meta));
+    resident_bytes_ += rounded;
+    return {id, data};
+}
+
+void chunk_pager::evict_to_fit_locked(std::size_t incoming_bytes)
+{
+    if (options_.max_resident_bytes == 0) return;
+    // Sweep the clock hand over chunks in allocation order; wrap once.  In
+    // steady state the hand sits just past the last eviction, so each call
+    // does O(evicted + pinned skipped) work.
+    std::size_t examined = 0;
+    const std::size_t n = chunks_.size();
+    while (resident_bytes_ + incoming_bytes > options_.max_resident_bytes &&
+           examined < n) {
+        if (next_victim_ >= n) next_victim_ = 0;
+        chunk_meta& victim = chunks_[next_victim_];
+        ++next_victim_;
+        ++examined;
+        if (!victim.resident || victim.pins > 0) continue;
+        ::msync(victim.data, victim.bytes, MS_ASYNC);
+        ::madvise(victim.data, victim.bytes, MADV_DONTNEED);
+        victim.resident = false;
+        resident_bytes_ -= victim.bytes;
+        ++evictions_;
+    }
+}
+
+void chunk_pager::pin(std::uint32_t id)
+{
+    std::lock_guard lock(mutex_);
+    ++chunks_[id].pins;
+}
+
+void chunk_pager::unpin(std::uint32_t id)
+{
+    std::lock_guard lock(mutex_);
+    --chunks_[id].pins;
+}
+
+bool chunk_pager::resident(std::uint32_t id) const
+{
+    std::lock_guard lock(mutex_);
+    return chunks_[id].resident;
+}
+
+void chunk_pager::validate_backing() const
+{
+    std::lock_guard lock(mutex_);
+    validate_backing_locked();
+}
+
+void chunk_pager::validate_backing_locked() const
+{
+    if (fd_ < 0) return;
+    struct stat st {};
+    if (::fstat(fd_, &st) != 0) throw_errno("fstat");
+    if (static_cast<std::size_t>(st.st_size) < file_extent_)
+        throw io_error("chunk_pager: spill file " + spill_path_ +
+                       " truncated externally: " + std::to_string(st.st_size) +
+                       " < " + std::to_string(file_extent_) + " bytes");
+}
+
+chunk_pager_stats chunk_pager::stats() const
+{
+    std::lock_guard lock(mutex_);
+    chunk_pager_stats out;
+    out.chunks = chunks_.size();
+    for (const auto& chunk : chunks_)
+        (chunk.resident ? out.resident_chunks : out.spilled_chunks) += 1;
+    out.evictions = evictions_;
+    out.spill_file_bytes = file_extent_;
+    out.resident_bytes = resident_bytes_;
+    return out;
+}
+
+void chunk_pager::flush_obs() const
+{
+    if (!obs::stats_enabled()) return;
+    const chunk_pager_stats s = stats();
+    obs::get_counter("pn.mem.chunks", "chunks").add(s.chunks);
+    obs::get_counter("pn.mem.resident_chunks", "chunks").add(s.resident_chunks);
+    obs::get_counter("pn.mem.spilled_chunks", "chunks").add(s.spilled_chunks);
+    obs::get_counter("pn.mem.evictions", "evictions").add(s.evictions);
+    obs::get_counter("pn.mem.spill_bytes", "bytes").add(s.spill_file_bytes);
+    struct rusage usage {};
+    if (::getrusage(RUSAGE_SELF, &usage) == 0) {
+        obs::get_gauge("pn.mem.peak_rss_bytes", "bytes")
+            .set(static_cast<double>(usage.ru_maxrss) * 1024.0);
+    }
+}
+
+} // namespace fcqss::exec

@@ -108,6 +108,7 @@ std::string check_verdict_matrix(const pn::petri_net& net, const fuzz_options& o
         pn::reachability_options explore;
         explore.max_markings = options.max_states;
         explore.max_tokens_per_place = options.max_tokens_per_place;
+        explore.max_bytes = options.max_bytes;
         explore.reduction = configs[c].kind;
         explore.strength = configs[c].strength;
         explore.threads = 1;

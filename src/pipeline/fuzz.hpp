@@ -56,6 +56,10 @@ struct fuzz_options {
     /// unbounded, and truncation is part of the surface under test.
     std::size_t max_states = 4000;
     std::int64_t max_tokens_per_place = 64;
+    /// Resident marking-arena budget per cell (0 = unlimited, all in RAM).
+    /// Non-zero routes every cell through the mmap spill path, so the fuzz
+    /// matrix doubles as a differential test of the external-memory store.
+    std::size_t max_bytes = 0;
     /// Thread count of the parallel-engine column.
     std::size_t threads = 2;
     /// Scheduler allocation budget for the synthesis pass on each mutant.

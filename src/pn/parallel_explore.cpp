@@ -5,10 +5,12 @@
 #include <cassert>
 #include <cstring>
 #include <deque>
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
 
+#include "exec/chunk_pager.hpp"
 #include "exec/executor.hpp"
 #include "exec/shard_queues.hpp"
 #include "obs/obs.hpp"
@@ -126,7 +128,10 @@ struct shard_state {
     std::vector<state_id> global_of_local;
     std::vector<fresh_entry> fresh; ///< this level, ascending (parent, via)
 
-    explicit shard_state(std::size_t width) : store(width) {}
+    shard_state(std::size_t width, std::shared_ptr<exec::chunk_pager> pager)
+        : store(width, std::move(pager))
+    {
+    }
 };
 
 /// Where a kept global id lives in the shard stores (the copy source for
@@ -136,39 +141,21 @@ struct locator {
     state_id local;
 };
 
-/// (place, token delta) of one firing, ascending by place; places whose
-/// count does not change are omitted.
-using delta_list = std::vector<std::pair<std::uint32_t, std::int64_t>>;
+/// (place, token delta) lists now live in detail:: (state_space.cpp) so the
+/// sequential engine can record them as cold-row decode deltas too.
+using detail::delta_list;
+using detail::firing_deltas;
 
-std::vector<delta_list> firing_deltas(const petri_net& net)
+/// The shared spill pager of one exploration run (null when unlimited):
+/// every store — result and per-shard — draws chunks from it, so they
+/// compete for one --max-bytes budget.
+std::shared_ptr<exec::chunk_pager> make_run_pager(std::size_t max_bytes)
 {
-    std::vector<delta_list> deltas(net.transition_count());
-    for (transition_id t : net.transitions()) {
-        delta_list& list = deltas[t.index()];
-        for (const place_weight& in : net.inputs(t)) {
-            list.emplace_back(static_cast<std::uint32_t>(in.place.index()),
-                              -in.weight);
-        }
-        for (const place_weight& out : net.outputs(t)) {
-            list.emplace_back(static_cast<std::uint32_t>(out.place.index()),
-                              out.weight);
-        }
-        std::sort(list.begin(), list.end());
-        // Fold arcs touching the same place into one net delta; drop zeros.
-        std::size_t kept = 0;
-        for (std::size_t i = 0; i < list.size();) {
-            std::int64_t sum = 0;
-            const std::uint32_t place = list[i].first;
-            for (; i < list.size() && list[i].first == place; ++i) {
-                sum += list[i].second;
-            }
-            if (sum != 0) {
-                list[kept++] = {place, sum};
-            }
-        }
-        list.resize(kept);
+    if (max_bytes == 0) {
+        return nullptr;
     }
-    return deltas;
+    return std::make_shared<exec::chunk_pager>(
+        exec::chunk_pager_options{.max_resident_bytes = max_bytes});
 }
 
 bool key_less(const fresh_entry& a, const fresh_entry& b)
@@ -236,10 +223,12 @@ state_space explore_leveled(const petri_net& net,
                                                .observed_places = options.observed_places});
     }
 
+    const std::shared_ptr<exec::chunk_pager> pager =
+        make_run_pager(options.max_bytes);
     std::vector<shard_state> shards;
     shards.reserve(shard_count);
     for (std::size_t s = 0; s < shard_count; ++s) {
-        shards.emplace_back(width);
+        shards.emplace_back(width, pager);
     }
     std::vector<chunk_state> chunks(max_chunks);
     for (chunk_state& chunk : chunks) {
@@ -250,7 +239,7 @@ state_space explore_leveled(const petri_net& net,
     marking_store& rstore = detail::space_access::store(result);
     std::vector<state_space_edge>& redges = detail::space_access::edges(result);
     std::vector<std::size_t>& roffsets = detail::space_access::edge_offsets(result);
-    rstore = marking_store(width);
+    rstore = marking_store(width, pager);
     roffsets.push_back(0);
     bool truncated = false;
 
@@ -616,6 +605,9 @@ state_space explore_leveled(const petri_net& net,
     }
     flush_progress();
     detail::flush_store_obs(rstore);
+    if (pager != nullptr) {
+        pager->flush_obs();
+    }
     run_span.arg("states", static_cast<std::int64_t>(rstore.size()));
     return result;
 }
@@ -696,7 +688,10 @@ struct ushard {
     stubborn_workspace ws;
     std::vector<transition_id> reduced;
 
-    explicit ushard(std::size_t width) : store(width) {}
+    ushard(std::size_t width, std::shared_ptr<exec::chunk_pager> pager)
+        : store(width, std::move(pager))
+    {
+    }
 };
 
 state_space explore_unordered(const petri_net& net,
@@ -711,7 +706,9 @@ state_space explore_unordered(const petri_net& net,
     // A budget that cannot even hold the root: the leveled engine owns the
     // truncation semantics of that corner.
     if (options.max_states < 1) {
-        return explore_leveled(net, options);
+        state_space fallback = explore_leveled(net, options);
+        detail::space_access::unordered_fallback(fallback) = true;
+        return fallback;
     }
 
     std::size_t shard_count = options.shards ? options.shards : 2 * threads;
@@ -738,9 +735,11 @@ state_space explore_unordered(const petri_net& net,
     // A deque: ushard is neither copyable nor nothrow-movable (the store's
     // arena, the enabled deque), and elements must never relocate anyway —
     // in-flight candidates point into them.
+    const std::shared_ptr<exec::chunk_pager> pager =
+        make_run_pager(options.max_bytes);
     std::deque<ushard> shards;
     for (std::size_t s = 0; s < shard_count; ++s) {
-        shards.emplace_back(width);
+        shards.emplace_back(width, pager);
         shards.back().out.resize(shard_count);
     }
 
@@ -953,7 +952,9 @@ state_space explore_unordered(const petri_net& net,
             obs::get_counter("pn.unord.budget_fallbacks").add(1);
         }
         run_span.arg("budget_fallback", 1);
-        return explore_leveled(net, options);
+        state_space fallback = explore_leveled(net, options);
+        detail::space_access::unordered_fallback(fallback) = true;
+        return fallback;
     }
 
     // Assembly.  Temporary ids concatenate the shard stores; a counting
@@ -1036,28 +1037,51 @@ state_space explore_unordered(const petri_net& net,
     marking_store& rstore = detail::space_access::store(result);
     std::vector<state_space_edge>& redges = detail::space_access::edges(result);
     std::vector<std::size_t>& roffsets = detail::space_access::edge_offsets(result);
-    rstore = marking_store(width);
-    rstore.start_bulk_build(total);
+    rstore = marking_store(width, pager);
+    // Renumber by adoption: the result store references the shard stores'
+    // arena rows in place and takes ownership of the stores themselves, so
+    // no marking bytes move (pn.unord.renumber_bytes_moved pins this at 0).
+    rstore.start_adopt(total);
     {
-        const std::size_t copy_chunks = std::min<std::size_t>(total, threads * 4);
-        pool.for_each_index(copy_chunks, [&](std::size_t c) {
-            const std::size_t begin = total * c / copy_chunks;
-            const std::size_t end = total * (c + 1) / copy_chunks;
+        const std::size_t fill_chunks = std::min<std::size_t>(total, threads * 4);
+        pool.for_each_index(fill_chunks, [&](std::size_t c) {
+            const std::size_t begin = total * c / fill_chunks;
+            const std::size_t end = total * (c + 1) / fill_chunks;
             for (std::size_t gid = begin; gid < end; ++gid) {
                 const std::size_t p = temp_of_new[gid];
                 const std::size_t s = static_cast<std::size_t>(
                     std::upper_bound(base.begin(), base.end(), p) - base.begin() - 1);
                 const auto local = static_cast<state_id>(p - base[s]);
                 const marking_store& store = shards[s].store;
-                std::memcpy(rstore.bulk_tokens(static_cast<state_id>(gid)),
-                            store.tokens(local).data(),
-                            width * sizeof(std::int64_t));
-                rstore.set_bulk_hash(static_cast<state_id>(gid),
-                                     store.stored_hash(local));
+                rstore.set_adopted(static_cast<state_id>(gid),
+                                   store.tokens(local).data(),
+                                   store.stored_hash(local));
             }
         });
     }
-    rstore.finish_bulk_build();
+    // Shard-store tallies flush now — the stores are about to be moved into
+    // the result as adoption backing.
+    std::size_t shard_states_total = 0;
+    std::size_t shard_states_max = 0;
+    if (obs::stats_enabled()) {
+        for (std::size_t s = 0; s < shard_count; ++s) {
+            const std::size_t interned = shards[s].store.size();
+            shard_states_total += interned;
+            shard_states_max = std::max(shard_states_max, interned);
+            obs::get_counter("pn.par.shard." + std::to_string(s) + ".states")
+                .add(interned);
+            detail::flush_store_obs(shards[s].store);
+        }
+    }
+    {
+        std::vector<std::unique_ptr<marking_store>> backing;
+        backing.reserve(shard_count);
+        for (std::size_t s = 0; s < shard_count; ++s) {
+            backing.push_back(
+                std::make_unique<marking_store>(std::move(shards[s].store)));
+        }
+        rstore.finish_adopt(std::move(backing));
+    }
 
     roffsets.reserve(total + 1);
     roffsets.push_back(0);
@@ -1107,25 +1131,21 @@ state_space explore_unordered(const petri_net& net,
         obs::get_counter("pn.par.candidates").add(cands);
         obs::get_counter("pn.explore.states").add(rstore.size());
         obs::get_counter("pn.explore.edges").add(redges.size());
-        std::size_t shard_total = 0;
-        std::size_t shard_max = 0;
-        for (std::size_t s = 0; s < shard_count; ++s) {
-            const std::size_t interned = shards[s].store.size();
-            shard_total += interned;
-            shard_max = std::max(shard_max, interned);
-            obs::get_counter("pn.par.shard." + std::to_string(s) + ".states")
-                .add(interned);
-            detail::flush_store_obs(shards[s].store);
-        }
-        const double mean = static_cast<double>(shard_total) /
+        // Proves the renumber pass stopped copying markings: adoption moves
+        // store ownership, not bytes.
+        obs::get_counter("pn.unord.renumber_bytes_moved", "bytes").add(0);
+        const double mean = static_cast<double>(shard_states_total) /
                             static_cast<double>(shard_count);
         obs::get_gauge("pn.par.shard_imbalance", "ratio")
-            .set(mean == 0.0 ? 0.0 : static_cast<double>(shard_max) / mean);
+            .set(mean == 0.0 ? 0.0 : static_cast<double>(shard_states_max) / mean);
         if (truncated) {
             obs::get_counter("pn.explore.truncations").add(1);
         }
     }
     detail::flush_store_obs(rstore);
+    if (pager != nullptr) {
+        pager->flush_obs();
+    }
     run_span.arg("states", static_cast<std::int64_t>(rstore.size()));
     return result;
 }

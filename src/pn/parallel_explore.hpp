@@ -54,6 +54,10 @@ struct parallel_explore_options {
     /// Budgets, mirroring state_space_options.
     std::size_t max_states = 100000;
     std::int64_t max_tokens_per_place = 1 << 20;
+    /// Soft ceiling on resident arena bytes shared by the result and every
+    /// per-shard store; 0 = unlimited.  See state_space_options::max_bytes —
+    /// the published graph is bit-identical at any spill ratio.
+    std::size_t max_bytes = 0;
     /// Per-state partial-order reduction (pn/stubborn.hpp).  The stubborn
     /// subset is a deterministic function of each marking alone, so the
     /// bit-identical-at-any-thread-count guarantee holds for reduced

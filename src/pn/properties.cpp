@@ -35,24 +35,42 @@ verdict check_k_bounded_explicit(const petri_net& net, std::int64_t k,
 {
     // "Some place exceeds k" is a stutter-invariant reachability query, so
     // a stubborn reduction must observe the queried places — but only the
-    // *growable* ones (some transition has a positive net delta there).  A
-    // place no firing grows never exceeds its initial count, and
-    // place_bounds() includes the root marking, so its verdict is settled
-    // without observing it.  Observing every place instead makes every
-    // token-moving transition visible and degenerates the ltl_x reduction
-    // to (nearly) the full graph.
-    reachability_options opts = options;
-    if (opts.reduction == reduction_kind::stubborn) {
-        opts.strength = reduction_strength::ltl_x;
-        opts.observed_places = growable_places(net);
-    }
-    const state_space space = explore_space(net, opts);
-    for (const std::int64_t bound : place_bounds(space)) {
-        if (bound > k) {
-            return verdict::no; // a witness marking is definite either way
+    // *growable* ones (some transition has a positive net delta there): a
+    // place no firing grows never exceeds its initial count, which the
+    // root-marking scan below settles directly.  Under reduction each
+    // growable place is then queried in its own exploration with
+    // observed_places = {that place} — the weakest exact visibility set —
+    // instead of observing all growable places at once, which makes every
+    // transition touching any of them visible and can degenerate the ltl_x
+    // reduction to (nearly) the full graph.  Each per-place run preserves
+    // reachability of "p exceeds k" exactly, so an over-k bound is a
+    // definite no and a clean (untruncated) sweep is a definite yes.
+    for (const std::int64_t count : net.initial_marking_vector()) {
+        if (count > k) {
+            return verdict::no; // the root marking itself is the witness
         }
     }
-    return space.truncated() ? verdict::unknown : verdict::yes;
+    if (options.reduction != reduction_kind::stubborn) {
+        const state_space space = explore_space(net, options);
+        for (const std::int64_t bound : place_bounds(space)) {
+            if (bound > k) {
+                return verdict::no; // a witness marking is definite either way
+            }
+        }
+        return space.truncated() ? verdict::unknown : verdict::yes;
+    }
+    bool truncated = false;
+    for (const place_id p : growable_places(net)) {
+        reachability_options opts = options;
+        opts.strength = reduction_strength::ltl_x;
+        opts.observed_places = {p};
+        const state_space space = explore_space(net, opts);
+        if (place_bounds(space)[p.index()] > k) {
+            return verdict::no;
+        }
+        truncated |= space.truncated();
+    }
+    return truncated ? verdict::unknown : verdict::yes;
 }
 
 verdict check_deadlock_free(const petri_net& net, const reachability_options& options)

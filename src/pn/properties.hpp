@@ -30,10 +30,12 @@ enum class verdict {
 /// coverability tree (useful when the caller already pays for exploration,
 /// or wants the engines' thread/reduction knobs).  An over-k witness is
 /// definite even on a truncated exploration; "yes" needs the full graph.
-/// With a stubborn reduction the strength is upgraded to ltl_x with every
-/// place observed, which makes all token-moving transitions visible — the
-/// verdict stays exact, at the cost of most of the reduction (see the
-/// README reduction-guarantees table).
+/// With a stubborn reduction the strength is upgraded to ltl_x and each
+/// *growable* place is queried in its own exploration observing just that
+/// place (the weakest exact visibility set); non-growable places are
+/// settled by a root-marking scan.  Definite verdicts match the
+/// unreduced check exactly; only which truncated runs come back unknown
+/// can differ (see the README reduction-guarantees table).
 [[nodiscard]] verdict check_k_bounded_explicit(const petri_net& net, std::int64_t k,
                                               const reachability_options& options = {});
 

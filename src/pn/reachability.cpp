@@ -14,6 +14,7 @@ state_space explore_space(const petri_net& net, const reachability_options& opti
         return explore_state_space(
             net, {.max_states = options.max_markings,
                   .max_tokens_per_place = options.max_tokens_per_place,
+                  .max_bytes = options.max_bytes,
                   .reduction = options.reduction,
                   .strength = options.strength,
                   .observed_places = options.observed_places});
@@ -22,6 +23,7 @@ state_space explore_space(const petri_net& net, const reachability_options& opti
                             {.threads = options.threads,
                              .max_states = options.max_markings,
                              .max_tokens_per_place = options.max_tokens_per_place,
+                             .max_bytes = options.max_bytes,
                              .reduction = options.reduction,
                              .strength = options.strength,
                              .observed_places = options.observed_places,

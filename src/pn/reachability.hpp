@@ -24,6 +24,11 @@ namespace fcqss::pn {
 struct reachability_options {
     std::size_t max_markings = 100000;
     std::int64_t max_tokens_per_place = 1 << 20;
+    /// Soft ceiling on resident arena bytes; 0 = unlimited.  Non-zero backs
+    /// the marking arenas with an mmap'd spill file (exec::chunk_pager) and
+    /// evicts cold chunks, so exploration can outgrow RAM; the explored
+    /// graph is bit-identical at any spill ratio.
+    std::size_t max_bytes = 0;
     /// Worker threads for exploration: 1 runs the sequential engine, any
     /// other value the sharded parallel engine (0 = hardware concurrency).
     /// Results are bit-identical either way.

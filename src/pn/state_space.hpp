@@ -34,6 +34,11 @@ class state_space;
 struct state_space_options {
     std::size_t max_states = 100000;
     std::int64_t max_tokens_per_place = 1 << 20;
+    /// Soft ceiling on resident arena bytes; 0 = unlimited (heap arena).
+    /// Non-zero routes arena chunks through an exec::chunk_pager backed by
+    /// an mmap'd spill file, evicting cold chunks past the budget.  The
+    /// explored graph is bit-identical either way — only residency changes.
+    std::size_t max_bytes = 0;
     /// Per-state partial-order reduction (pn/stubborn.hpp).  `stubborn`
     /// preserves deadlock verdicts and the set of reachable dead markings,
     /// not the full reachability set.
@@ -52,6 +57,16 @@ struct state_space_options {
 };
 
 namespace detail {
+
+/// (place, token delta) of one firing, ascending by place; places whose
+/// count does not change are omitted.
+using delta_list = std::vector<std::pair<std::uint32_t, std::int64_t>>;
+
+/// Per-transition sparse firing deltas, indexed by transition index.  Both
+/// engines use these for O(|arcs|) successor construction, and the
+/// sequential engine forwards them to marking_store::record_parent so cold
+/// rows can be decoded instead of faulted back in.
+[[nodiscard]] std::vector<delta_list> firing_deltas(const petri_net& net);
 
 /// True when `tokens` (length |P|) enables t.
 [[nodiscard]] bool enabled_in(const petri_net& net, const std::int64_t* tokens,
@@ -107,6 +122,7 @@ struct space_access {
     [[nodiscard]] static std::vector<state_space_edge>& edges(state_space& space);
     [[nodiscard]] static std::vector<std::size_t>& edge_offsets(state_space& space);
     [[nodiscard]] static bool& truncated(state_space& space);
+    [[nodiscard]] static bool& unordered_fallback(state_space& space);
 };
 
 } // namespace detail
@@ -130,6 +146,15 @@ public:
     /// True when a budget stopped exploration; "for all reachable markings"
     /// verdicts then only hold for the explored region.
     [[nodiscard]] bool truncated() const noexcept { return truncated_; }
+    /// True when an unordered run hit a binding state budget and re-ran
+    /// level-synchronously (the kept prefix of a free run is
+    /// order-dependent, so truncation semantics belong to the leveled
+    /// engine).  The result is still exact-truncation correct; this flag
+    /// only records that the requested exploration order was not used.
+    [[nodiscard]] bool unordered_fallback() const noexcept
+    {
+        return unordered_fallback_;
+    }
 
     /// Token counts of state s (a stable span into the arena).
     [[nodiscard]] std::span<const std::int64_t> tokens(state_id s) const noexcept
@@ -163,6 +188,7 @@ private:
     /// size state_count()+1; successors of s are edges_[offsets[s]..offsets[s+1]).
     std::vector<std::size_t> edge_offsets_;
     bool truncated_ = false;
+    bool unordered_fallback_ = false;
 };
 
 /// Breadth-first exploration from the net's initial marking.  Visits exactly

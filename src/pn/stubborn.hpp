@@ -103,10 +103,11 @@ struct stubborn_options {
 /// Places some firing can *grow*: those where at least one transition has a
 /// positive folded net delta (outputs minus inputs), ascending.  A place no
 /// transition grows can never exceed its count in the initial marking, so
-/// boundedness queries need only observe the growable places — observing
-/// all of them keeps the EF-fragment query exact while leaving every
-/// transition that only shuffles settled places invisible, which is what
-/// lets the ltl_x reduction actually reduce (check_k_bounded_explicit).
+/// boundedness queries need only observe the growable places — and each
+/// per-place EF query stays exact observing just *its* place, the weakest
+/// visibility set, which is how check_k_bounded_explicit keeps the ltl_x
+/// reduction effective: it explores once per growable place instead of once
+/// with every growable place visible.
 [[nodiscard]] std::vector<place_id> growable_places(const petri_net& net);
 
 /// Per-thread scratch for stubborn_reduction::reduce(): flag arrays sized

@@ -1,10 +1,12 @@
 #include "svc/protocol.hpp"
 
+#include <algorithm>
 #include <future>
 #include <memory>
 #include <utility>
 
 #include "pn/net_class.hpp"
+#include "pnio/parser.hpp"
 #include "qss/schedulability.hpp"
 
 namespace fcqss::svc {
@@ -120,6 +122,10 @@ session_verdict session::handle_line(std::string_view line)
         handle_synthesize(request);
         return session_verdict::keep_open;
     }
+    if (name == "explore") {
+        handle_explore(request);
+        return session_verdict::keep_open;
+    }
     const json* id = request.find("id");
     const std::string client_id = id != nullptr ? id->as_string() : std::string();
     if (name == "ping") {
@@ -145,6 +151,85 @@ session_verdict session::handle_line(std::string_view line)
     }
     send_error("unknown op \"" + name + "\"");
     return session_verdict::keep_open;
+}
+
+void session::handle_explore(const json& request)
+{
+    const json* id = request.find("id");
+    const std::string client_id = id != nullptr ? id->as_string() : std::string();
+    const json* net_text = request.find("net");
+    const json* path = request.find("path");
+    const bool has_net = net_text != nullptr && net_text->type() == json::kind::string;
+    const bool has_path = path != nullptr && path->type() == json::kind::string;
+    if (has_net == has_path) {
+        send_error("explore needs exactly one of \"net\" or \"path\"");
+        return;
+    }
+    if (has_path && !options_.allow_paths) {
+        send_error("path requests are disabled on this transport");
+        return;
+    }
+
+    // Client knobs clamp against the server's ceilings — they can only make
+    // the run cheaper.  threads and max_bytes come from the server policy
+    // untouched: a remote client must not widen the worker pool or the
+    // resident-memory budget.
+    pn::reachability_options explore = options_.explore;
+    if (const json* max_states = request.find("max_states");
+        max_states != nullptr && max_states->as_number() >= 1) {
+        explore.max_markings = std::min(
+            explore.max_markings, static_cast<std::size_t>(max_states->as_number()));
+    }
+    if (const json* max_tokens = request.find("max_tokens");
+        max_tokens != nullptr && max_tokens->as_number() >= 1) {
+        explore.max_tokens_per_place =
+            std::min(explore.max_tokens_per_place,
+                     static_cast<std::int64_t>(max_tokens->as_number()));
+    }
+    if (const json* order = request.find("order"); order != nullptr) {
+        if (order->as_string() == "ordered") {
+            explore.order = pn::exploration_order::ordered;
+        } else if (order->as_string() == "unordered") {
+            explore.order = pn::exploration_order::unordered;
+        } else {
+            send_error("explore \"order\" must be \"ordered\" or \"unordered\"");
+            return;
+        }
+    }
+    if (const json* reduce = request.find("reduce"); reduce != nullptr) {
+        if (reduce->as_string() == "none") {
+            explore.reduction = pn::reduction_kind::none;
+        } else if (reduce->as_string() == "stubborn") {
+            explore.reduction = pn::reduction_kind::stubborn;
+            explore.strength = pn::reduction_strength::deadlock;
+        } else if (reduce->as_string() == "stubborn-ltlx") {
+            explore.reduction = pn::reduction_kind::stubborn;
+            explore.strength = pn::reduction_strength::ltl_x;
+        } else {
+            send_error("explore \"reduce\" must be \"none\", \"stubborn\" or "
+                       "\"stubborn-ltlx\"");
+            return;
+        }
+    }
+
+    // Synchronous on purpose: the reply is a single small event and the
+    // budgets above bound the work, so there is nothing to stream and no
+    // worker pool to involve.
+    try {
+        const pn::petri_net net =
+            has_path ? pnio::load_net(path->as_string())
+                     : pnio::parse_net(net_text->as_string());
+        const pn::state_space space = pn::explore_space(net, explore);
+        json event = event_header("explored", client_id);
+        event.set("states", space.state_count());
+        event.set("edges", space.edge_count());
+        event.set("truncated", space.truncated());
+        event.set("deadlock", pn::find_deadlock(net, space).has_value());
+        event.set("fallback", space.unordered_fallback());
+        sink_(event.dump());
+    } catch (const std::exception& error) {
+        send_error(error.what());
+    }
 }
 
 void session::handle_synthesize(const json& request)

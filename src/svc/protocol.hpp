@@ -10,6 +10,8 @@
 //
 //   {"op":"synthesize","id":"r1","net":"<.pn text>","stream":true}
 //   {"op":"synthesize","id":"r2","path":"examples/nets/choice.pn"}
+//   {"op":"explore","id":"x1","net":"<.pn text>","max_states":5000,
+//    "max_tokens":64,"order":"unordered","reduce":"stubborn"}
 //   {"op":"ping","id":"p"}
 //   {"op":"stats"}
 //   {"op":"shutdown"}
@@ -19,12 +21,22 @@
 //   server's filesystem; exactly one of the two.  `stream` (default
 //   false) opts into per-stage progress events.
 //
+//   `explore` runs state-space exploration synchronously on the session
+//   thread and replies with one `explored` event.  The client may tighten
+//   `max_states` / `max_tokens` (clamped to the server's ceilings, never
+//   widened) and pick `order` (ordered|unordered) and `reduce`
+//   (none|stubborn|stubborn-ltlx); thread count and the resident-memory
+//   budget (--max-bytes) are server policy and not negotiable over the
+//   wire.
+//
 // Events (`event` discriminates; `id` echoes the client id when given):
 //
 //   {"event":"accepted","id":"r1","request":7}
 //   {"event":"stage","id":"r1","request":7,"stage":"classify","micros":12}
 //   {"event":"done","id":"r1","request":7,"status":"ok","code":0,
 //    "deduplicated":false,"cached":false,...,"c":"<generated C>"}
+//   {"event":"explored","id":"x1","states":412,"edges":988,
+//    "truncated":false,"deadlock":false,"fallback":false}
 //   {"event":"rejected","id":"r9","reason":"overloaded"}   // backpressure
 //   {"event":"error","message":"..."}                      // malformed line
 //   {"event":"pong","id":"p"}
@@ -49,6 +61,7 @@
 #include <string_view>
 
 #include "pipeline/service.hpp"
+#include "pn/reachability.hpp"
 #include "svc/json.hpp"
 
 namespace fcqss::svc {
@@ -67,6 +80,12 @@ struct session_options {
     bool allow_paths = true;
     /// Nesting bound handed to the JSON parser.
     std::size_t max_json_depth = 32;
+    /// Server-side exploration policy for {"op":"explore"}.  `max_markings`
+    /// and `max_tokens_per_place` are ceilings a client may tighten but
+    /// never raise; `threads` and `max_bytes` (the resident arena budget —
+    /// pn_tool serve --max-bytes) are applied as-is and are not exposed on
+    /// the wire.
+    pn::reachability_options explore{};
 };
 
 /// What a handled line asks the transport to do next.
@@ -101,6 +120,7 @@ public:
 
 private:
     void handle_synthesize(const json& request);
+    void handle_explore(const json& request);
     void finish_request();
 
     pipeline::service& service_;

@@ -1,0 +1,217 @@
+// External-memory differential net: exploration under a --max-bytes budget
+// must publish a state space bit-identical to the all-in-RAM run — same ids,
+// token spans, CSR rows and truncation verdict — across generator families,
+// thread counts, exploration orders and spill ratios (budgets derived from
+// the unlimited run's own arena size).  Also pins the operational surface:
+// evictions really happen under a tight budget, the decode cache actually
+// serves intern probes on the sequential engine, the unordered renumber
+// pass moves zero bytes (adoption, not copying), the unordered->leveled
+// budget fallback is visible on the state_space, and a truncated spill file
+// surfaces as fcqss::io_error at the store layer, not UB.  The ASan CI job
+// runs this file, covering the whole mmap/madvise/refault path.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "base/error.hpp"
+#include "exec/chunk_pager.hpp"
+#include "obs/obs.hpp"
+#include "pipeline/net_generator.hpp"
+#include "pn/marking_store.hpp"
+#include "pn/reachability.hpp"
+#include "pn/state_space.hpp"
+
+namespace fcqss::pn {
+namespace {
+
+/// Bit-identical comparison, same contract as test_parallel_explore.cpp.
+void expect_identical_spaces(const state_space& expected, const state_space& actual)
+{
+    ASSERT_EQ(expected.state_count(), actual.state_count());
+    ASSERT_EQ(expected.edge_count(), actual.edge_count());
+    EXPECT_EQ(expected.truncated(), actual.truncated());
+    for (state_id s = 0; s < static_cast<state_id>(expected.state_count()); ++s) {
+        const auto expected_tokens = expected.tokens(s);
+        const auto actual_tokens = actual.tokens(s);
+        ASSERT_TRUE(std::equal(expected_tokens.begin(), expected_tokens.end(),
+                               actual_tokens.begin(), actual_tokens.end()))
+            << "state " << s;
+        const auto expected_edges = expected.successors(s);
+        const auto actual_edges = actual.successors(s);
+        ASSERT_TRUE(std::equal(expected_edges.begin(), expected_edges.end(),
+                               actual_edges.begin(), actual_edges.end()))
+            << "state " << s;
+    }
+}
+
+petri_net family_net(pipeline::net_family family, std::uint64_t seed)
+{
+    pipeline::generator_options options;
+    options.family = family;
+    options.sources = 2;
+    options.depth = 4;
+    options.token_load = 2;
+    // Credit-bounded sources keep the spaces finite, so untruncated runs
+    // exist for the fallback-free assertions below.
+    options.source_credit = 4;
+    return pipeline::net_generator(seed, options).next();
+}
+
+TEST(Spill, BitIdenticalAcrossFamiliesThreadsOrdersAndRatios)
+{
+    const pipeline::net_family families[] = {
+        pipeline::net_family::free_choice,
+        pipeline::net_family::client_server,
+        pipeline::net_family::layered_pipeline,
+    };
+    std::uint64_t seed = 40;
+    for (const pipeline::net_family family : families) {
+        const petri_net net = family_net(family, ++seed);
+        reachability_options base;
+        base.max_markings = 8000;
+        base.max_tokens_per_place = 64;
+        const state_space baseline = explore_space(net, base);
+        ASSERT_GT(baseline.state_count(), 0u);
+
+        // Budgets as fractions of the unlimited run's own arena: ~0.5 and
+        // ~0.9 spill ratios (the latter keeps almost nothing resident).
+        const std::size_t arena = baseline.store().arena_bytes();
+        const std::size_t budgets[] = {std::max<std::size_t>(arena / 2, 4096),
+                                       std::max<std::size_t>(arena / 10, 4096)};
+        for (const std::size_t budget : budgets) {
+            for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+                for (const exploration_order order :
+                     {exploration_order::ordered, exploration_order::unordered}) {
+                    reachability_options opts = base;
+                    opts.max_bytes = budget;
+                    opts.threads = threads;
+                    opts.order = order;
+                    const state_space spilled = explore_space(net, opts);
+                    expect_identical_spaces(baseline, spilled);
+                }
+            }
+        }
+    }
+}
+
+TEST(Spill, TightBudgetEvictsAndDecodesOnTheSequentialEngine)
+{
+    // client_server without source credit is unbounded: truncation at
+    // max_markings guarantees a large arena, so a 64 KiB budget forces most
+    // chunks out and intern probes onto the delta-decode path.
+    pipeline::generator_options gen;
+    gen.family = pipeline::net_family::client_server;
+    const petri_net net = pipeline::net_generator(7, gen).next();
+
+    reachability_options unlimited;
+    unlimited.max_markings = 30000;
+    const state_space baseline = explore_space(net, unlimited);
+    ASSERT_TRUE(baseline.truncated());
+
+    reachability_options spilled = unlimited;
+    spilled.max_bytes = 64 * 1024;
+    const state_space space = explore_space(net, spilled);
+    expect_identical_spaces(baseline, space);
+
+    ASSERT_NE(space.store().pager(), nullptr);
+    const exec::chunk_pager_stats pager_stats = space.store().pager()->stats();
+    EXPECT_GT(pager_stats.chunks, 1u);
+    EXPECT_GT(pager_stats.evictions, 0u);
+    EXPECT_GT(pager_stats.spill_file_bytes, 0u);
+
+    // The sequential engine records parent deltas, so cold-row probes are
+    // served by decode (cache hit or forced fault) rather than silently
+    // reading through the mapping.
+    const marking_store_stats& store_stats = space.store().stats();
+    EXPECT_GT(store_stats.decode_hits + store_stats.decode_misses, 0u);
+}
+
+TEST(Spill, UnorderedRenumberAdoptsInsteadOfCopying)
+{
+    // A finite space well under max_markings: the unordered engine must
+    // finish free-running (no budget fallback) for the renumber pass to run.
+    pipeline::generator_options gen;
+    gen.family = pipeline::net_family::free_choice;
+    gen.sources = 2;
+    gen.depth = 4;
+    gen.source_credit = 3;
+    const petri_net net = pipeline::net_generator(11, gen).next();
+    obs::reset();
+    obs::set_stats_enabled(true);
+
+    reachability_options opts;
+    opts.max_markings = 20000;
+    opts.max_tokens_per_place = 64;
+    opts.threads = 4;
+    opts.order = exploration_order::unordered;
+    opts.max_bytes = 256 * 1024;
+    const state_space space = explore_space(net, opts);
+    obs::set_stats_enabled(false);
+
+    EXPECT_FALSE(space.unordered_fallback());
+    // The renumber pass references shard rows in place; the counter exists
+    // (so dashboards can see it) and stays at zero bytes moved.
+    EXPECT_EQ(obs::get_counter("pn.unord.renumber_bytes_moved", "bytes").value(),
+              0u);
+    EXPECT_GT(space.store().adopted_count(), 0u);
+
+    reachability_options sequential = opts;
+    sequential.threads = 1;
+    sequential.max_bytes = 0;
+    expect_identical_spaces(explore_space(net, sequential), space);
+}
+
+TEST(Spill, UnorderedBudgetFallbackIsVisible)
+{
+    pipeline::generator_options gen;
+    gen.family = pipeline::net_family::client_server;
+    const petri_net net = pipeline::net_generator(7, gen).next();
+
+    reachability_options opts;
+    opts.max_markings = 500; // binding: the family is unbounded
+    opts.threads = 4;
+    opts.order = exploration_order::unordered;
+    const state_space truncated = explore_space(net, opts);
+    EXPECT_TRUE(truncated.truncated());
+    EXPECT_TRUE(truncated.unordered_fallback());
+
+    // Same run without a binding budget keeps the flag off, as does the
+    // leveled order even when its budget binds.
+    reachability_options ordered = opts;
+    ordered.order = exploration_order::ordered;
+    EXPECT_FALSE(explore_space(net, ordered).unordered_fallback());
+}
+
+TEST(Spill, TruncatedSpillFileSurfacesAsIoErrorNotUB)
+{
+    // A store draws chunks from its pager; truncating the spill file behind
+    // its back must surface as a typed io_error at the next validation
+    // point (every chunk allocation validates, and callers can validate
+    // explicitly before a read sweep) instead of a SIGBUS deep in a token
+    // read.  The intern itself is not run past the truncation: rows already
+    // handed out live in the truncated region, and writing them is exactly
+    // the UB window the allocate-time validation exists to close early.
+    const auto pager = std::make_shared<exec::chunk_pager>(
+        exec::chunk_pager_options{.max_resident_bytes = 64 * 1024});
+    marking_store store(8, pager);
+    std::vector<std::int64_t> tokens(8, 0);
+    tokens[0] = 1;
+    ASSERT_TRUE(store.intern(tokens.data(),
+                             marking_store::hash_tokens(tokens.data(), 8))
+                    .second);
+    ASSERT_EQ(store.chunk_count(), 1u);
+    EXPECT_NO_THROW(store.pager()->validate_backing());
+
+    ASSERT_EQ(::truncate(store.pager()->spill_path().c_str(), 0), 0);
+    EXPECT_THROW(store.pager()->validate_backing(), fcqss::io_error);
+    EXPECT_THROW(static_cast<void>(store.pager()->allocate(4096)),
+                 fcqss::io_error);
+}
+
+} // namespace
+} // namespace fcqss::pn
